@@ -1,0 +1,16 @@
+//! Host crate for the runnable example applications in `/examples`.
+//!
+//! The examples exercise the public 4D TeleCast API end to end:
+//!
+//! * `quickstart` — smallest possible session, headline metrics;
+//! * `collaborative_dancing` — the paper's motivating broadcast with a
+//!   frame-level synchronisation close-up;
+//! * `exergaming_audience` — view-change-heavy audience and victim
+//!   recovery;
+//! * `flash_crowd` — simultaneous arrival/departure storm, TeleCast vs
+//!   the Random baseline;
+//! * `trace_import` — loading a real PlanetLab ping trace behind the
+//!   same `DelayModel` trait as the synthetic matrix.
+//!
+//! Run any of them with
+//! `cargo run --release -p telecast-apps --example <name>`.

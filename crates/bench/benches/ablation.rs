@@ -1,0 +1,65 @@
+//! Ablation bench: the design-choice comparisons of DESIGN.md (outbound
+//! policy, placement rule, layering) timed at a reduced population. The
+//! full sweeps come from the `ablations` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use telecast::{OutboundPolicy, PlacementStrategy, SessionConfig};
+use telecast_baselines::no_layering;
+use telecast_bench::{run_scenario, Scenario};
+use telecast_cdn::CdnConfig;
+use telecast_net::{Bandwidth, BandwidthProfile};
+
+fn config() -> SessionConfig {
+    SessionConfig::default()
+        .with_seed(99)
+        .with_outbound(BandwidthProfile::uniform_mbps(2, 10))
+        .with_cdn(CdnConfig::default().with_outbound(Bandwidth::from_mbps(400)))
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("round_robin", OutboundPolicy::RoundRobin),
+        ("priority_first", OutboundPolicy::PriorityFirst),
+        ("equal_split", OutboundPolicy::EqualSplit),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("outbound", name),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut cfg = config();
+                    cfg.outbound_policy = policy;
+                    run_scenario(&Scenario::evaluation(cfg, 100)).acceptance_ratio
+                })
+            },
+        );
+    }
+    for (name, placement) in [
+        ("push_down", PlacementStrategy::PushDown),
+        ("first_fit", PlacementStrategy::Fifo),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("placement", name),
+            &placement,
+            |b, &placement| {
+                b.iter(|| {
+                    let mut cfg = config();
+                    cfg.placement = placement;
+                    run_scenario(&Scenario::evaluation(cfg, 100)).mean_tree_depth
+                })
+            },
+        );
+    }
+    group.bench_function("layering_off", |b| {
+        b.iter(|| {
+            run_scenario(&Scenario::evaluation(no_layering(config()), 100))
+                .effective_bandwidth
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(ablation, bench_ablation);
+criterion_main!(ablation);

@@ -1,0 +1,38 @@
+//! Figure 14 bench: the view-synchronization workload (delay-layer
+//! subscription at join, and the join/view-change protocol overhead).
+//! Full-scale figures come from the `fig14a/b/c` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use telecast::SessionConfig;
+use telecast_bench::{run_scenario, Scenario};
+use telecast_cdn::CdnConfig;
+use telecast_net::{Bandwidth, BandwidthProfile};
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    group.bench_function("layer_subscription_100_viewers", |b| {
+        b.iter(|| {
+            let config = SessionConfig::default()
+                .with_seed(14)
+                .with_outbound(BandwidthProfile::uniform_mbps(0, 12))
+                .with_cdn(CdnConfig::default().with_outbound(Bandwidth::from_mbps(600)));
+            let r = run_scenario(&Scenario::evaluation(config, 100));
+            (r.layers.len(), r.streams_per_viewer.len())
+        })
+    });
+    group.bench_function("join_plus_view_changes_100_viewers", |b| {
+        b.iter(|| {
+            let config = SessionConfig::default()
+                .with_seed(14)
+                .with_outbound(BandwidthProfile::uniform_mbps(0, 12))
+                .with_cdn(CdnConfig::default().with_outbound(Bandwidth::from_mbps(600)));
+            let r = run_scenario(&Scenario::evaluation(config, 100).with_view_changes(0.5));
+            r.view_change_delays_ms.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(fig14, bench_fig14);
+criterion_main!(fig14);

@@ -1,0 +1,34 @@
+//! Figure 15 bench: TeleCast vs the Random dissemination baseline on the
+//! same workload. Full-scale curves come from the `fig15a/b` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use telecast::SessionConfig;
+use telecast_baselines::random_dissemination;
+use telecast_bench::{run_scenario, Scenario};
+use telecast_cdn::CdnConfig;
+use telecast_net::{Bandwidth, BandwidthProfile};
+
+fn config() -> SessionConfig {
+    SessionConfig::default()
+        .with_seed(15)
+        .with_outbound(BandwidthProfile::uniform_mbps(2, 14))
+        .with_cdn(CdnConfig::default().with_outbound(Bandwidth::from_mbps(600)))
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    group.bench_function("telecast_100_viewers", |b| {
+        b.iter(|| run_scenario(&Scenario::evaluation(config(), 100)).acceptance_ratio)
+    });
+    group.bench_function("random_100_viewers", |b| {
+        b.iter(|| {
+            run_scenario(&Scenario::evaluation(random_dissemination(config()), 100))
+                .acceptance_ratio
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(fig15, bench_fig15);
+criterion_main!(fig15);

@@ -1,0 +1,119 @@
+//! Micro-benchmarks of the building blocks: event engine, degree
+//! push-down, bandwidth allocation, layer arithmetic, latency synthesis.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use telecast::alloc::{allocate_inbound, allocate_outbound};
+use telecast::{LayerScheme, OutboundPolicy};
+use telecast_media::{PrioritizedStream, ProducerSite, SiteId, StreamId, ViewCatalog, ViewId};
+use telecast_net::{Bandwidth, NodeKind, NodeRegistry, Region, SyntheticPlanetLab};
+use telecast_overlay::StreamTree;
+use telecast_sim::{Engine, SimDuration, SimTime};
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new();
+            for i in 0..10_000u64 {
+                engine.schedule_at(SimTime::from_micros(i * 37 % 10_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some(f) = engine.pop() {
+                sum = sum.wrapping_add(f.payload);
+            }
+            sum
+        })
+    });
+}
+
+fn bench_push_down(c: &mut Criterion) {
+    let mut reg = NodeRegistry::new();
+    let ids: Vec<_> = (0..1_000)
+        .map(|_| reg.add(NodeKind::Viewer, Region::NorthAmerica))
+        .collect();
+    c.bench_function("overlay/push_down_insert_1000", |b| {
+        b.iter_batched(
+            || StreamTree::new(StreamId::new(SiteId::new(0), 0)),
+            |mut tree| {
+                for (i, &v) in ids.iter().enumerate() {
+                    let deg = (i % 5) as u32;
+                    let cap = Bandwidth::from_mbps(2 * deg as u64);
+                    if tree.insert(v, deg, cap).is_none() {
+                        tree.attach_to_cdn(v, deg, cap);
+                    }
+                }
+                tree.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let streams: Vec<PrioritizedStream> = (0..6)
+        .map(|i| PrioritizedStream {
+            stream: StreamId::new(SiteId::new((i % 2) as u16), i as u16),
+            df: 1.0 - 0.1 * i as f64,
+            eta: i as u32 / 2 + 1,
+            bitrate_kbps: 2_000,
+        })
+        .collect();
+    c.bench_function("alloc/inbound_plus_outbound", |b| {
+        b.iter(|| {
+            let plan = allocate_inbound(&streams, Bandwidth::from_mbps(12), |_, _| true);
+            allocate_outbound(
+                &plan.accepted,
+                Bandwidth::from_mbps(10),
+                OutboundPolicy::RoundRobin,
+            )
+            .outbound_used
+        })
+    });
+}
+
+fn bench_layers(c: &mut Criterion) {
+    let scheme = LayerScheme::new(
+        SimDuration::from_secs(60),
+        SimDuration::from_millis(300),
+        2,
+        SimDuration::from_secs(65),
+    );
+    c.bench_function("layers/push_down_6_streams", |b| {
+        b.iter(|| {
+            let mut layers = [0u64, 3, 1, 7, 2, 5];
+            scheme.push_down(&mut layers);
+            layers
+        })
+    });
+}
+
+fn bench_catalog(c: &mut Criterion) {
+    let sites = ProducerSite::teeve_pair();
+    c.bench_function("media/canonical_catalog", |b| {
+        b.iter(|| ViewCatalog::canonical(&sites, 3))
+    });
+    let catalog = ViewCatalog::canonical(&sites, 3);
+    c.bench_function("media/streams_by_priority", |b| {
+        b.iter(|| catalog.view(ViewId::new(0)).streams_by_priority())
+    });
+}
+
+fn bench_planetlab(c: &mut Criterion) {
+    let mut reg = NodeRegistry::new();
+    for i in 0..200 {
+        reg.add(NodeKind::Viewer, Region::ALL[i % 5]);
+    }
+    c.bench_function("net/synthetic_planetlab_200", |b| {
+        b.iter(|| SyntheticPlanetLab::generate(&reg, 42).len())
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_engine,
+    bench_push_down,
+    bench_allocation,
+    bench_layers,
+    bench_catalog,
+    bench_planetlab
+);
+criterion_main!(micro);

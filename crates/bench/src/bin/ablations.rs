@@ -1,0 +1,13 @@
+//! Regenerates the ablation studies DESIGN.md promises: outbound policy,
+//! placement strategy, κ sweep, and layering on/off.
+//! `TELECAST_SCALE=smoke` shrinks the runs.
+
+use telecast_bench::figures;
+
+fn main() {
+    let scale = telecast_bench::Scale::from_env();
+    telecast_bench::emit(&figures::ablation_outbound(scale));
+    telecast_bench::emit(&figures::ablation_placement(scale));
+    telecast_bench::emit(&figures::ablation_kappa(scale));
+    telecast_bench::emit(&figures::ablation_layering(scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig14c of the paper. `TELECAST_SCALE=smoke` shrinks the run.
+
+fn main() {
+    let scale = telecast_bench::Scale::from_env();
+    telecast_bench::emit(&telecast_bench::figures::fig14c(scale));
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Experiment harness reproducing the 4D TeleCast evaluation (§VII).
+//!
+//! Each figure of the paper has a generator in [`figures`] producing a
+//! [`FigureData`] with the same series the paper plots; the `fig*`
+//! binaries print them as aligned tables and export JSON next to the
+//! terminal output. Scenario plumbing lives in [`harness`]; independent
+//! simulation runs of a sweep execute in parallel on crossbeam scoped
+//! threads.
+
+pub mod figures;
+pub mod harness;
+pub mod table;
+
+pub use figures::Scale;
+pub use harness::{run_scenario, RunResult, Scenario};
+pub use table::{FigureData, Series};
+
+/// Prints a figure's table to stdout and writes `results/<id>.json`.
+///
+/// The binaries call this once per figure; JSON export failures are
+/// reported but do not abort the run (the table already printed).
+pub fn emit(figure: &FigureData) {
+    println!("{}", figure.to_table());
+    match figure.write_json("results") {
+        Ok(()) => println!("# wrote results/{}.json\n", figure.id),
+        Err(err) => eprintln!("# could not write results/{}.json: {err}\n", figure.id),
+    }
+}

@@ -1,0 +1,173 @@
+//! Figure data containers, table printing, and JSON export.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// One plotted curve: a label plus `(x, y)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label, e.g. `Cobw=6Mbps` or `TeleCast`.
+    pub label: String,
+    /// The curve's points in ascending x.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// The y value at the given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+}
+
+/// Everything needed to regenerate one figure of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Figure identifier, e.g. `fig13a`.
+    pub id: String,
+    /// Human title matching the paper's caption.
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// The plotted curves.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Renders the figure as an aligned text table (x column + one column
+    /// per series), the form the `fig*` binaries print.
+    pub fn to_table(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("x is never NaN"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = writeln!(out, "# y: {}", self.y_label);
+        let width = 14usize;
+        let _ = write!(out, "{:>width$}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "{:>width$}", truncate(&s.label, width - 1));
+        }
+        let _ = writeln!(out);
+        for &x in &xs {
+            let _ = write!(out, "{:>width$}", format_num(x));
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(out, "{:>width$}", format_num(y));
+                    }
+                    None => {
+                        let _ = write!(out, "{:>width$}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Serialises the figure to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialisation fails (it cannot for this type).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FigureData serialises")
+    }
+
+    /// Writes `<dir>/<id>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating the directory or file.
+    pub fn write_json(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{}.json", self.id)), self.to_json())
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..max.saturating_sub(1)])
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if (v.fract()).abs() < 1e-9 && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure() -> FigureData {
+        FigureData {
+            id: "fig0".into(),
+            title: "test figure".into(),
+            x_label: "viewers".into(),
+            y_label: "ratio".into(),
+            series: vec![
+                Series::new("a", vec![(100.0, 0.5), (200.0, 0.75)]),
+                Series::new("b", vec![(100.0, 1.0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn table_aligns_and_fills_gaps() {
+        let t = figure().to_table();
+        assert!(t.contains("fig0"));
+        assert!(t.contains("viewers"));
+        assert!(t.contains("0.75"));
+        // Missing point of series b at x=200 shows as '-'.
+        let last = t.lines().last().unwrap();
+        assert!(last.trim_end().ends_with('-'), "line was: {last}");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let f = figure();
+        let parsed: FigureData = serde_json::from_str(&f.to_json()).unwrap();
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn y_at_finds_points() {
+        let f = figure();
+        assert_eq!(f.series[0].y_at(200.0), Some(0.75));
+        assert_eq!(f.series[1].y_at(200.0), None);
+    }
+
+    #[test]
+    fn integers_print_clean() {
+        assert_eq!(format_num(1000.0), "1000");
+        assert_eq!(format_num(0.55), "0.550");
+    }
+}

@@ -1,0 +1,101 @@
+//! CDN transfer cost accounting.
+//!
+//! The paper motivates minimising CDN outbound usage with CloudFront's
+//! 2012 pricing: "the use of 1GB traffic in Amazon CloudFront CDN costs
+//! $0.18".
+
+use serde::{Deserialize, Serialize};
+
+/// A per-gigabyte transfer pricing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    dollars_per_gb: f64,
+}
+
+impl CostModel {
+    /// Flat price per gigabyte of egress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the price is negative or not finite.
+    pub fn per_gb(dollars: f64) -> Self {
+        assert!(
+            dollars.is_finite() && dollars >= 0.0,
+            "invalid price: {dollars}"
+        );
+        CostModel {
+            dollars_per_gb: dollars,
+        }
+    }
+
+    /// Amazon CloudFront's 2012 price referenced by the paper.
+    pub fn cloudfront_2012() -> Self {
+        CostModel::per_gb(0.18)
+    }
+
+    /// Cost of transferring `bytes`.
+    pub fn cost_of(&self, bytes: u64) -> f64 {
+        bytes as f64 / 1e9 * self.dollars_per_gb
+    }
+}
+
+/// Accumulates egress bytes and prices them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMeter {
+    model: CostModel,
+    bytes: u64,
+}
+
+impl TrafficMeter {
+    /// A zeroed meter under the given pricing.
+    pub fn new(model: CostModel) -> Self {
+        TrafficMeter { model, bytes: 0 }
+    }
+
+    /// Records `bytes` of egress.
+    pub fn record(&mut self, bytes: u64) {
+        self.bytes += bytes;
+    }
+
+    /// Total recorded bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total cost in dollars of the recorded traffic.
+    pub fn dollars(&self) -> f64 {
+        self.model.cost_of(self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloudfront_price_matches_paper() {
+        let model = CostModel::cloudfront_2012();
+        assert!((model.cost_of(1_000_000_000) - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let mut meter = TrafficMeter::new(CostModel::per_gb(0.18));
+        meter.record(500_000_000);
+        meter.record(500_000_000);
+        assert_eq!(meter.bytes(), 1_000_000_000);
+        assert!((meter.dollars() - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_price_is_free() {
+        let model = CostModel::per_gb(0.0);
+        assert_eq!(model.cost_of(u64::MAX), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid price")]
+    fn negative_price_panics() {
+        CostModel::per_gb(-1.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The CDN distribution storage: ingest point for producer frames.
+//!
+//! Producers upload 3D frames to the distribution storage; the storage
+//! retains the latest frames per stream (a bounded window is plenty — the
+//! CDN then re-serves from edge replicas) and tracks the freshest frame
+//! number per stream, which the GSC monitoring component reports as the
+//! "latest captured frame number `n`" used by Eq. 2.
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+use telecast_media::{Frame, FrameNumber, StreamId};
+use telecast_sim::SimTime;
+
+/// Ingest statistics per stream, the producer metadata the GSC monitors
+/// ("frame rate, frame number, and frame size for each stream").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Number of frames ingested.
+    pub frames: u64,
+    /// Total ingested bytes.
+    pub bytes: u64,
+    /// Highest frame number seen.
+    pub latest_frame: FrameNumber,
+    /// Capture timestamp of the freshest frame.
+    pub latest_capture: SimTime,
+}
+
+/// Bounded per-stream frame store at the CDN core.
+#[derive(Debug, Clone)]
+pub struct Distribution {
+    window: usize,
+    frames: HashMap<StreamId, VecDeque<Frame>>,
+    stats: HashMap<StreamId, IngestStats>,
+}
+
+impl Distribution {
+    /// Creates a distribution storage retaining up to `window` frames per
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "distribution window must be positive");
+        Distribution {
+            window,
+            frames: HashMap::new(),
+            stats: HashMap::new(),
+        }
+    }
+
+    /// Ingests one frame from a producer gateway.
+    pub fn ingest(&mut self, frame: Frame) {
+        let queue = self.frames.entry(frame.stream).or_default();
+        queue.push_back(frame);
+        while queue.len() > self.window {
+            queue.pop_front();
+        }
+        let stats = self.stats.entry(frame.stream).or_insert(IngestStats {
+            frames: 0,
+            bytes: 0,
+            latest_frame: FrameNumber::ZERO,
+            latest_capture: SimTime::ZERO,
+        });
+        stats.frames += 1;
+        stats.bytes += frame.bytes as u64;
+        if frame.number >= stats.latest_frame {
+            stats.latest_frame = frame.number;
+            stats.latest_capture = frame.captured_at;
+        }
+    }
+
+    /// Latest ingested frame number for `stream` (the `n` of Eq. 2).
+    pub fn latest_frame(&self, stream: StreamId) -> Option<FrameNumber> {
+        self.stats.get(&stream).map(|s| s.latest_frame)
+    }
+
+    /// Ingest statistics for `stream`.
+    pub fn stats(&self, stream: StreamId) -> Option<IngestStats> {
+        self.stats.get(&stream).copied()
+    }
+
+    /// Retrieves a retained frame by number, if still in the window.
+    pub fn frame(&self, stream: StreamId, number: FrameNumber) -> Option<&Frame> {
+        self.frames
+            .get(&stream)?
+            .iter()
+            .find(|f| f.number == number)
+    }
+
+    /// Frames retained for `stream`, oldest first.
+    pub fn retained(&self, stream: StreamId) -> impl Iterator<Item = &Frame> {
+        self.frames.get(&stream).into_iter().flatten()
+    }
+
+    /// Number of streams with at least one retained frame.
+    pub fn stream_count(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telecast_media::SiteId;
+
+    fn frame(n: u64, bytes: u32) -> Frame {
+        Frame {
+            stream: StreamId::new(SiteId::new(0), 0),
+            number: FrameNumber::new(n),
+            captured_at: SimTime::from_millis(100 * n),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn ingest_tracks_latest() {
+        let mut d = Distribution::new(10);
+        d.ingest(frame(0, 100));
+        d.ingest(frame(1, 200));
+        let id = StreamId::new(SiteId::new(0), 0);
+        assert_eq!(d.latest_frame(id), Some(FrameNumber::new(1)));
+        let stats = d.stats(id).unwrap();
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.bytes, 300);
+        assert_eq!(stats.latest_capture, SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut d = Distribution::new(3);
+        for n in 0..5 {
+            d.ingest(frame(n, 10));
+        }
+        let id = StreamId::new(SiteId::new(0), 0);
+        assert_eq!(d.frame(id, FrameNumber::new(0)), None);
+        assert_eq!(d.frame(id, FrameNumber::new(1)), None);
+        assert!(d.frame(id, FrameNumber::new(2)).is_some());
+        assert!(d.frame(id, FrameNumber::new(4)).is_some());
+        // Stats still count everything ingested.
+        assert_eq!(d.stats(id).unwrap().frames, 5);
+    }
+
+    #[test]
+    fn unknown_stream_is_none() {
+        let d = Distribution::new(4);
+        let id = StreamId::new(SiteId::new(1), 7);
+        assert_eq!(d.latest_frame(id), None);
+        assert_eq!(d.stats(id), None);
+        assert_eq!(d.retained(id).count(), 0);
+        assert_eq!(d.stream_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        Distribution::new(0);
+    }
+}

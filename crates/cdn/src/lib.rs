@@ -1,0 +1,330 @@
+#![warn(missing_docs)]
+
+//! CDN substrate for the 4D TeleCast reproduction (paper §III-A).
+//!
+//! 4D TeleCast uses a commercial CDN "as a storage and first layer
+//! distribution server": producers upload 3D frames to the distribution
+//! storage, core servers replicate them to regional edge servers, and
+//! viewers (or the P2P layer's tree roots) pull from the nearest edge. The
+//! paper's evaluation models the CDN as a bounded outbound pool
+//! (`C_cdn_obw = 6000 Mbps`) with a constant producer→viewer first-hop
+//! delay `Δ = 60 s`; this crate implements that plus the storage/edge
+//! plumbing and the CloudFront-style transfer cost model ($0.18/GB).
+//!
+//! # Example
+//!
+//! ```
+//! use telecast_cdn::{Cdn, CdnConfig};
+//! use telecast_net::{Bandwidth, Region};
+//! use telecast_media::{SiteId, StreamId};
+//!
+//! let mut cdn = Cdn::new(CdnConfig::default());
+//! let stream = StreamId::new(SiteId::new(0), 3);
+//! let lease = cdn.serve(stream, Bandwidth::from_mbps(2), Region::Europe)?;
+//! assert_eq!(cdn.outbound().used(), Bandwidth::from_mbps(2));
+//! cdn.release(lease);
+//! assert!(cdn.outbound().used().is_zero());
+//! # Ok::<(), telecast_cdn::CdnRejectedError>(())
+//! ```
+
+mod cost;
+mod distribution;
+mod server;
+
+pub use cost::{CostModel, TrafficMeter};
+pub use distribution::{Distribution, IngestStats};
+pub use server::{EdgeServer, ServerId};
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use telecast_media::StreamId;
+use telecast_net::{Bandwidth, CapacityAccount, Region};
+use telecast_sim::SimDuration;
+
+/// Configuration of the simulated CDN.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdnConfig {
+    /// Total outbound capacity usable by the 3DTI session (`C_cdn_obw`).
+    pub outbound_capacity: Bandwidth,
+    /// Producer→viewer delivery delay through the CDN (the paper's `Δ`;
+    /// 60 s in the evaluation — the non-interactive viewers tolerate it).
+    pub delta: SimDuration,
+    /// Transfer price per gigabyte (Amazon CloudFront 2012: $0.18/GB).
+    pub dollars_per_gb: f64,
+}
+
+impl Default for CdnConfig {
+    /// The evaluation configuration: 6000 Mbps pool, Δ = 60 s, $0.18/GB.
+    fn default() -> Self {
+        CdnConfig {
+            outbound_capacity: Bandwidth::from_mbps(6_000),
+            delta: SimDuration::from_secs(60),
+            dollars_per_gb: 0.18,
+        }
+    }
+}
+
+impl CdnConfig {
+    /// An effectively unbounded CDN — used to measure *required* CDN
+    /// bandwidth (Fig. 13(a) provisions every request and reports the
+    /// peak).
+    pub fn unbounded() -> Self {
+        CdnConfig {
+            outbound_capacity: Bandwidth::from_kbps(u64::MAX / 2),
+            ..Default::default()
+        }
+    }
+
+    /// Same configuration with a different outbound pool.
+    pub fn with_outbound(self, outbound: Bandwidth) -> Self {
+        CdnConfig {
+            outbound_capacity: outbound,
+            ..self
+        }
+    }
+}
+
+/// Error returned when the CDN pool cannot admit another stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CdnRejectedError {
+    /// Bandwidth that was requested.
+    pub requested: Bandwidth,
+    /// Bandwidth that remained available.
+    pub available: Bandwidth,
+}
+
+impl fmt::Display for CdnRejectedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CDN outbound pool exhausted: requested {}, available {}",
+            self.requested, self.available
+        )
+    }
+}
+
+impl Error for CdnRejectedError {}
+
+/// Handle to an active CDN-served stream; release it to return the
+/// bandwidth to the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CdnLease(u64);
+
+/// The simulated CDN: bounded outbound pool + per-region edge servers.
+#[derive(Debug, Clone)]
+pub struct Cdn {
+    config: CdnConfig,
+    outbound: CapacityAccount,
+    edges: Vec<EdgeServer>,
+    leases: HashMap<CdnLease, (StreamId, Bandwidth, ServerId)>,
+    next_lease: u64,
+    meter: TrafficMeter,
+}
+
+impl Cdn {
+    /// Builds a CDN with one edge server per region.
+    pub fn new(config: CdnConfig) -> Self {
+        let edges = Region::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &region)| EdgeServer::new(ServerId::new(i as u32), region))
+            .collect();
+        Cdn {
+            config,
+            outbound: CapacityAccount::new(config.outbound_capacity),
+            edges,
+            leases: HashMap::new(),
+            next_lease: 0,
+            meter: TrafficMeter::new(CostModel::per_gb(config.dollars_per_gb)),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &CdnConfig {
+        &self.config
+    }
+
+    /// The producer→viewer delivery delay `Δ`.
+    pub fn delta(&self) -> SimDuration {
+        self.config.delta
+    }
+
+    /// The outbound pool account.
+    pub fn outbound(&self) -> &CapacityAccount {
+        &self.outbound
+    }
+
+    /// Whether a stream of rate `bw` could currently be admitted.
+    pub fn can_serve(&self, bw: Bandwidth) -> bool {
+        self.outbound.can_reserve(bw)
+    }
+
+    /// Admits a stream of rate `bw` towards a viewer in `region`, serving
+    /// it from that region's edge server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdnRejectedError`] if the pool lacks capacity; nothing is
+    /// reserved in that case.
+    pub fn serve(
+        &mut self,
+        stream: StreamId,
+        bw: Bandwidth,
+        region: Region,
+    ) -> Result<CdnLease, CdnRejectedError> {
+        self.outbound.reserve(bw).map_err(|e| CdnRejectedError {
+            requested: e.requested,
+            available: e.available,
+        })?;
+        let edge = self
+            .edges
+            .iter_mut()
+            .find(|e| e.region() == region)
+            .expect("an edge exists per region");
+        edge.add_session(stream, bw);
+        let lease = CdnLease(self.next_lease);
+        self.next_lease += 1;
+        self.leases.insert(lease, (stream, bw, edge.id()));
+        Ok(lease)
+    }
+
+    /// Releases a lease, returning its bandwidth to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lease was already released — double release is an
+    /// accounting bug.
+    pub fn release(&mut self, lease: CdnLease) {
+        let (stream, bw, server) = self
+            .leases
+            .remove(&lease)
+            .expect("release of unknown or already-released CDN lease");
+        self.outbound.release(bw);
+        let edge = self
+            .edges
+            .iter_mut()
+            .find(|e| e.id() == server)
+            .expect("edge exists");
+        edge.remove_session(stream, bw);
+    }
+
+    /// Number of active leases.
+    pub fn active_leases(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Records `bytes` of egress for cost accounting.
+    pub fn record_egress(&mut self, bytes: u64) {
+        self.meter.record(bytes);
+    }
+
+    /// Accumulated egress meter.
+    pub fn meter(&self) -> &TrafficMeter {
+        &self.meter
+    }
+
+    /// The per-region edge servers.
+    pub fn edges(&self) -> &[EdgeServer] {
+        &self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telecast_media::SiteId;
+
+    fn stream(camera: u16) -> StreamId {
+        StreamId::new(SiteId::new(0), camera)
+    }
+
+    #[test]
+    fn default_config_matches_evaluation() {
+        let c = CdnConfig::default();
+        assert_eq!(c.outbound_capacity, Bandwidth::from_mbps(6_000));
+        assert_eq!(c.delta, SimDuration::from_secs(60));
+        assert_eq!(c.dollars_per_gb, 0.18);
+    }
+
+    #[test]
+    fn serve_reserves_and_release_returns() {
+        let mut cdn = Cdn::new(CdnConfig::default());
+        let lease = cdn
+            .serve(stream(0), Bandwidth::from_mbps(2), Region::Asia)
+            .expect("capacity available");
+        assert_eq!(cdn.outbound().used(), Bandwidth::from_mbps(2));
+        assert_eq!(cdn.active_leases(), 1);
+        cdn.release(lease);
+        assert_eq!(cdn.outbound().used(), Bandwidth::ZERO);
+        assert_eq!(cdn.active_leases(), 0);
+    }
+
+    #[test]
+    fn pool_exhaustion_rejects() {
+        let mut cdn = Cdn::new(CdnConfig::default().with_outbound(Bandwidth::from_mbps(3)));
+        cdn.serve(stream(0), Bandwidth::from_mbps(2), Region::Europe)
+            .expect("first fits");
+        let err = cdn
+            .serve(stream(1), Bandwidth::from_mbps(2), Region::Europe)
+            .unwrap_err();
+        assert_eq!(err.available, Bandwidth::from_mbps(1));
+        assert_eq!(cdn.active_leases(), 1);
+    }
+
+    #[test]
+    fn unbounded_config_admits_thousands() {
+        let mut cdn = Cdn::new(CdnConfig::unbounded());
+        for i in 0..10_000u16 {
+            cdn.serve(stream(i % 8), Bandwidth::from_mbps(2), Region::NorthAmerica)
+                .expect("unbounded");
+        }
+        assert_eq!(cdn.active_leases(), 10_000);
+    }
+
+    #[test]
+    fn sessions_land_on_regional_edge() {
+        let mut cdn = Cdn::new(CdnConfig::default());
+        cdn.serve(stream(0), Bandwidth::from_mbps(2), Region::Oceania)
+            .expect("fits");
+        let edge = cdn
+            .edges()
+            .iter()
+            .find(|e| e.region() == Region::Oceania)
+            .unwrap();
+        assert_eq!(edge.session_count(), 1);
+        assert_eq!(edge.load(), Bandwidth::from_mbps(2));
+        for other in cdn.edges().iter().filter(|e| e.region() != Region::Oceania) {
+            assert_eq!(other.session_count(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already-released")]
+    fn double_release_panics() {
+        let mut cdn = Cdn::new(CdnConfig::default());
+        let lease = cdn
+            .serve(stream(0), Bandwidth::from_mbps(2), Region::Asia)
+            .unwrap();
+        cdn.release(lease);
+        cdn.release(lease);
+    }
+
+    #[test]
+    fn egress_metering_accumulates_cost() {
+        let mut cdn = Cdn::new(CdnConfig::default());
+        cdn.record_egress(5_000_000_000); // 5 GB
+        assert!((cdn.meter().dollars() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejected_error_displays() {
+        let err = CdnRejectedError {
+            requested: Bandwidth::from_mbps(2),
+            available: Bandwidth::ZERO,
+        };
+        assert!(err.to_string().contains("exhausted"));
+    }
+}

@@ -1,0 +1,143 @@
+//! CDN edge servers.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use telecast_media::StreamId;
+use telecast_net::{Bandwidth, Region};
+
+/// Identifier of a CDN server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerId(u32);
+
+impl ServerId {
+    /// Creates a server id.
+    pub const fn new(index: u32) -> Self {
+        ServerId(index)
+    }
+
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edge{}", self.0)
+    }
+}
+
+/// A regional edge server: tracks the per-stream sessions it is feeding so
+/// load distribution across edges can be inspected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeServer {
+    id: ServerId,
+    region: Region,
+    sessions: HashMap<StreamId, u32>,
+    load: Bandwidth,
+}
+
+impl EdgeServer {
+    /// Creates an idle edge server in `region`.
+    pub fn new(id: ServerId, region: Region) -> Self {
+        EdgeServer {
+            id,
+            region,
+            sessions: HashMap::new(),
+            load: Bandwidth::ZERO,
+        }
+    }
+
+    /// The server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The server's region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Registers one outbound session of `stream` at rate `bw`.
+    pub fn add_session(&mut self, stream: StreamId, bw: Bandwidth) {
+        *self.sessions.entry(stream).or_insert(0) += 1;
+        self.load += bw;
+    }
+
+    /// Removes one outbound session of `stream` at rate `bw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no session of `stream` is active.
+    pub fn remove_session(&mut self, stream: StreamId, bw: Bandwidth) {
+        let count = self
+            .sessions
+            .get_mut(&stream)
+            .expect("removing a session that was never added");
+        *count -= 1;
+        if *count == 0 {
+            self.sessions.remove(&stream);
+        }
+        self.load -= bw;
+    }
+
+    /// Total number of active outbound sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.values().map(|&c| c as usize).sum()
+    }
+
+    /// Number of distinct streams being served.
+    pub fn distinct_streams(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Aggregate outbound load.
+    pub fn load(&self) -> Bandwidth {
+        self.load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telecast_media::SiteId;
+
+    fn stream(camera: u16) -> StreamId {
+        StreamId::new(SiteId::new(0), camera)
+    }
+
+    #[test]
+    fn sessions_accumulate_per_stream() {
+        let mut edge = EdgeServer::new(ServerId::new(0), Region::Europe);
+        edge.add_session(stream(0), Bandwidth::from_mbps(2));
+        edge.add_session(stream(0), Bandwidth::from_mbps(2));
+        edge.add_session(stream(1), Bandwidth::from_mbps(2));
+        assert_eq!(edge.session_count(), 3);
+        assert_eq!(edge.distinct_streams(), 2);
+        assert_eq!(edge.load(), Bandwidth::from_mbps(6));
+    }
+
+    #[test]
+    fn removal_clears_empty_streams() {
+        let mut edge = EdgeServer::new(ServerId::new(1), Region::Asia);
+        edge.add_session(stream(0), Bandwidth::from_mbps(2));
+        edge.remove_session(stream(0), Bandwidth::from_mbps(2));
+        assert_eq!(edge.session_count(), 0);
+        assert_eq!(edge.distinct_streams(), 0);
+        assert_eq!(edge.load(), Bandwidth::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "never added")]
+    fn removing_unknown_session_panics() {
+        let mut edge = EdgeServer::new(ServerId::new(2), Region::Asia);
+        edge.remove_session(stream(0), Bandwidth::from_mbps(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ServerId::new(3).to_string(), "edge3");
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests of the CDN substrate: the outbound pool is conserved
+//! under arbitrary serve/release interleavings and edge-server load
+//! always equals the sum of its live sessions.
+
+use proptest::prelude::*;
+use telecast_cdn::{Cdn, CdnConfig, CdnLease};
+use telecast_media::{SiteId, StreamId};
+use telecast_net::{Bandwidth, Region};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Serve { camera: u16, mbps: u64, region: usize },
+    Release { index: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..8, 1u64..6, 0usize..5).prop_map(|(camera, mbps, region)| Op::Serve {
+            camera,
+            mbps,
+            region
+        }),
+        (0usize..64).prop_map(|index| Op::Release { index }),
+    ]
+}
+
+proptest! {
+    /// used = Σ live leases at every step; the pool never over-commits;
+    /// edge loads sum to the pool usage.
+    #[test]
+    fn pool_is_conserved(
+        cap_mbps in 1u64..200,
+        ops in proptest::collection::vec(arb_op(), 0..200),
+    ) {
+        let cap = Bandwidth::from_mbps(cap_mbps);
+        let mut cdn = Cdn::new(CdnConfig::default().with_outbound(cap));
+        let mut live: Vec<(CdnLease, Bandwidth)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Serve { camera, mbps, region } => {
+                    let bw = Bandwidth::from_mbps(mbps);
+                    let stream = StreamId::new(SiteId::new(0), camera);
+                    match cdn.serve(stream, bw, Region::ALL[region]) {
+                        Ok(lease) => live.push((lease, bw)),
+                        Err(err) => {
+                            prop_assert!(err.available < bw, "rejected despite headroom");
+                        }
+                    }
+                }
+                Op::Release { index } => {
+                    if !live.is_empty() {
+                        let (lease, _) = live.swap_remove(index % live.len());
+                        cdn.release(lease);
+                    }
+                }
+            }
+            let expected: Bandwidth = live.iter().map(|&(_, bw)| bw).sum();
+            prop_assert_eq!(cdn.outbound().used(), expected);
+            prop_assert!(cdn.outbound().used() <= cap);
+            prop_assert_eq!(cdn.active_leases(), live.len());
+            let edge_total: Bandwidth = cdn.edges().iter().map(|e| e.load()).sum();
+            prop_assert_eq!(edge_total, expected);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Host crate for the cross-crate integration tests in `/tests`.
+//!
+//! The suites cover: full join/stream/render pipelines (`end_to_end`),
+//! the view-synchronisation guarantees (`synchronization`), view-change
+//! and failure adaptation (`adaptation`), bit-for-bit reproducibility
+//! (`determinism`), and the TeleCast-vs-Random comparison invariants
+//! (`baseline_comparison`).

@@ -1,0 +1,290 @@
+//! The viewer's local buffer and cache (paper §V-B2, Fig. 11).
+//!
+//! Each stream has a local buffer split at the **Media Playback Point
+//! (MPP)**: frames younger than `dbuff` (since receipt) sit between buffer
+//! end and MPP and are eligible for playback; older frames sit in the
+//! cache for `dcache` and remain available to feed child viewers
+//! (delayed-receive subscriptions); beyond that they are discarded.
+
+use std::collections::{HashMap, VecDeque};
+
+use telecast_media::{Frame, FrameNumber, StreamId};
+use telecast_sim::{SimDuration, SimTime};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Slot {
+    frame: Frame,
+    received_at: SimTime,
+}
+
+/// Frame store of one viewer: per-stream buffer + cache.
+///
+/// ```
+/// use telecast::ViewerBuffer;
+/// use telecast_media::{Frame, FrameNumber, SiteId, StreamId};
+/// use telecast_sim::{SimDuration, SimTime};
+///
+/// let stream = StreamId::new(SiteId::new(0), 0);
+/// let mut buf = ViewerBuffer::new(SimDuration::from_millis(300), SimDuration::from_secs(25));
+/// buf.receive(
+///     Frame { stream, number: FrameNumber::ZERO, captured_at: SimTime::ZERO, bytes: 25_000 },
+///     SimTime::from_secs(60),
+/// );
+/// assert_eq!(buf.buffered(stream, SimTime::from_secs(60)).count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ViewerBuffer {
+    dbuff: SimDuration,
+    dcache: SimDuration,
+    streams: HashMap<StreamId, VecDeque<Slot>>,
+}
+
+impl ViewerBuffer {
+    /// Creates an empty buffer with the given buffer and cache lengths.
+    pub fn new(dbuff: SimDuration, dcache: SimDuration) -> Self {
+        ViewerBuffer {
+            dbuff,
+            dcache,
+            streams: HashMap::new(),
+        }
+    }
+
+    /// The buffer length `dbuff`.
+    pub fn dbuff(&self) -> SimDuration {
+        self.dbuff
+    }
+
+    /// The cache length `dcache`.
+    pub fn dcache(&self) -> SimDuration {
+        self.dcache
+    }
+
+    /// Stores a received frame.
+    pub fn receive(&mut self, frame: Frame, at: SimTime) {
+        self.streams.entry(frame.stream).or_default().push_back(Slot {
+            frame,
+            received_at: at,
+        });
+    }
+
+    /// Discards frames older than `dbuff + dcache` (past the buffer
+    /// head). Returns how many were discarded.
+    pub fn evict_expired(&mut self, now: SimTime) -> usize {
+        let horizon = self.dbuff + self.dcache;
+        let mut evicted = 0;
+        for q in self.streams.values_mut() {
+            while let Some(slot) = q.front() {
+                if now.saturating_since(slot.received_at) > horizon {
+                    q.pop_front();
+                    evicted += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Frames currently between buffer end and MPP (received within
+    /// `dbuff`) — the playback-eligible set.
+    pub fn buffered(&self, stream: StreamId, now: SimTime) -> impl Iterator<Item = &Frame> {
+        let dbuff = self.dbuff;
+        self.streams
+            .get(&stream)
+            .into_iter()
+            .flatten()
+            .filter(move |slot| now.saturating_since(slot.received_at) <= dbuff)
+            .map(|slot| &slot.frame)
+    }
+
+    /// Frames currently in the cache (older than `dbuff`, not yet
+    /// expired) — available for child subscriptions but not playback.
+    pub fn cached(&self, stream: StreamId, now: SimTime) -> impl Iterator<Item = &Frame> {
+        let (dbuff, horizon) = (self.dbuff, self.dbuff + self.dcache);
+        self.streams
+            .get(&stream)
+            .into_iter()
+            .flatten()
+            .filter(move |slot| {
+                let age = now.saturating_since(slot.received_at);
+                age > dbuff && age <= horizon
+            })
+            .map(|slot| &slot.frame)
+    }
+
+    /// A specific frame, if held anywhere (buffer or cache) — what a
+    /// parent consults to serve a subscription point.
+    pub fn frame(&self, stream: StreamId, number: FrameNumber) -> Option<&Frame> {
+        self.streams
+            .get(&stream)?
+            .iter()
+            .map(|slot| &slot.frame)
+            .find(|f| f.number == number)
+    }
+
+    /// **Synchronous render check**: the newest capture instant `t*` such
+    /// that every stream in `expected` holds a buffered frame captured
+    /// within `dskew` of `t*`. Returns the rendered set, one frame per
+    /// stream. This is what the renderer does at the MPP; the delay-layer
+    /// machinery exists to make it succeed.
+    pub fn try_render(
+        &self,
+        expected: &[StreamId],
+        now: SimTime,
+        dskew: SimDuration,
+    ) -> Option<Vec<Frame>> {
+        if expected.is_empty() {
+            return Some(Vec::new());
+        }
+        // Candidate anchors: buffered capture times of the first stream,
+        // newest first.
+        let mut anchors: Vec<SimTime> = self
+            .buffered(expected[0], now)
+            .map(|f| f.captured_at)
+            .collect();
+        anchors.sort_unstable_by(|a, b| b.cmp(a));
+        'anchor: for &t_star in &anchors {
+            let mut rendered = Vec::with_capacity(expected.len());
+            for &s in expected {
+                let hit = self
+                    .buffered(s, now)
+                    .filter(|f| {
+                        f.captured_at.as_micros().abs_diff(t_star.as_micros())
+                            <= dskew.as_micros()
+                    })
+                    .min_by_key(|f| f.captured_at.as_micros().abs_diff(t_star.as_micros()));
+                match hit {
+                    Some(f) => rendered.push(*f),
+                    None => continue 'anchor,
+                }
+            }
+            return Some(rendered);
+        }
+        None
+    }
+
+    /// Total frames held across all streams.
+    pub fn len(&self) -> usize {
+        self.streams.values().map(|q| q.len()).sum()
+    }
+
+    /// Whether no frames are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telecast_media::SiteId;
+
+    fn sid(c: u16) -> StreamId {
+        StreamId::new(SiteId::new(0), c)
+    }
+
+    fn frame(stream: StreamId, n: u64, captured_ms: u64) -> Frame {
+        Frame {
+            stream,
+            number: FrameNumber::new(n),
+            captured_at: SimTime::from_millis(captured_ms),
+            bytes: 25_000,
+        }
+    }
+
+    fn buf() -> ViewerBuffer {
+        ViewerBuffer::new(SimDuration::from_millis(300), SimDuration::from_secs(25))
+    }
+
+    #[test]
+    fn frames_move_buffer_to_cache_to_discard() {
+        let mut b = buf();
+        let s = sid(0);
+        b.receive(frame(s, 0, 0), SimTime::from_secs(60));
+        // Fresh: in buffer.
+        let now = SimTime::from_secs(60);
+        assert_eq!(b.buffered(s, now).count(), 1);
+        assert_eq!(b.cached(s, now).count(), 0);
+        // After dbuff: in cache.
+        let now = SimTime::from_millis(60_400);
+        assert_eq!(b.buffered(s, now).count(), 0);
+        assert_eq!(b.cached(s, now).count(), 1);
+        // After dbuff + dcache: evicted.
+        let now = SimTime::from_millis(60_000 + 300 + 25_000 + 1);
+        let mut b2 = b.clone();
+        assert_eq!(b2.evict_expired(now), 1);
+        assert!(b2.is_empty());
+    }
+
+    #[test]
+    fn cached_frames_serve_subscription_lookups() {
+        let mut b = buf();
+        let s = sid(0);
+        for n in 0..5 {
+            b.receive(frame(s, n, 100 * n), SimTime::from_millis(60_000 + 100 * n));
+        }
+        assert!(b.frame(s, FrameNumber::new(3)).is_some());
+        assert!(b.frame(s, FrameNumber::new(9)).is_none());
+    }
+
+    #[test]
+    fn render_succeeds_when_skew_within_dbuff() {
+        let mut b = buf();
+        let (s1, s2) = (sid(0), sid(1));
+        // Correlated frames captured together, received 100 ms apart —
+        // within the 300 ms buffer.
+        b.receive(frame(s1, 10, 1_000), SimTime::from_millis(61_000));
+        b.receive(frame(s2, 10, 1_000), SimTime::from_millis(61_100));
+        let rendered = b
+            .try_render(&[s1, s2], SimTime::from_millis(61_150), SimDuration::from_millis(1))
+            .expect("synchronous render");
+        assert_eq!(rendered.len(), 2);
+        assert!(rendered.iter().all(|f| f.captured_at == SimTime::from_millis(1_000)));
+    }
+
+    #[test]
+    fn render_fails_when_one_stream_lags_past_dbuff() {
+        let mut b = buf();
+        let (s1, s2) = (sid(0), sid(1));
+        b.receive(frame(s1, 10, 1_000), SimTime::from_millis(61_000));
+        // s2's correlated frame arrives 400 ms later: by then s1's copy
+        // has left the buffer — the Fig. 7(a) view synchronization problem.
+        b.receive(frame(s2, 10, 1_000), SimTime::from_millis(61_400));
+        assert!(b
+            .try_render(&[s1, s2], SimTime::from_millis(61_450), SimDuration::from_millis(1))
+            .is_none());
+    }
+
+    #[test]
+    fn render_prefers_newest_anchor() {
+        let mut b = buf();
+        let s1 = sid(0);
+        b.receive(frame(s1, 10, 1_000), SimTime::from_millis(61_000));
+        b.receive(frame(s1, 11, 1_100), SimTime::from_millis(61_100));
+        let rendered = b
+            .try_render(&[s1], SimTime::from_millis(61_150), SimDuration::ZERO)
+            .unwrap();
+        assert_eq!(rendered[0].number, FrameNumber::new(11));
+    }
+
+    #[test]
+    fn render_with_no_expected_streams_is_trivial() {
+        let b = buf();
+        assert_eq!(b.try_render(&[], SimTime::ZERO, SimDuration::ZERO), Some(vec![]));
+    }
+
+    #[test]
+    fn render_tolerates_skew_within_dskew() {
+        let mut b = buf();
+        let (s1, s2) = (sid(0), sid(1));
+        // Captures 30 ms apart — within a 50 ms dskew.
+        b.receive(frame(s1, 10, 1_000), SimTime::from_millis(61_000));
+        b.receive(frame(s2, 20, 1_030), SimTime::from_millis(61_000));
+        assert!(b
+            .try_render(&[s1, s2], SimTime::from_millis(61_010), SimDuration::from_millis(50))
+            .is_some());
+        assert!(b
+            .try_render(&[s1, s2], SimTime::from_millis(61_010), SimDuration::from_millis(10))
+            .is_none());
+    }
+}

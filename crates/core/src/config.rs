@@ -1,0 +1,220 @@
+//! Session configuration.
+
+use serde::{Deserialize, Serialize};
+use telecast_cdn::CdnConfig;
+use telecast_media::ProducerSite;
+use telecast_net::BandwidthProfile;
+use telecast_sim::SimDuration;
+
+/// How a joining stream request is placed in the overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// The paper's degree push-down (Algorithm 1) inside view groups.
+    PushDown,
+    /// The Random dissemination baseline of §VII: per stream, probe
+    /// `probes` uniformly random session members (no view grouping, no
+    /// displacement); fall back to the CDN when every probe misses.
+    Random {
+        /// Number of random candidates examined per stream.
+        probes: u32,
+    },
+    /// First-fit: scan group members in join order and take the first
+    /// free slot (no displacement). An ablation of the push-down rule.
+    Fifo,
+}
+
+/// How a viewer's outbound capacity is split across its accepted streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutboundPolicy {
+    /// The paper's allocation: one out-link (slot) per stream per pass, in
+    /// priority order, until capacity runs out — guarantees
+    /// `abw(S_hi) ≥ abw(S_lo)`.
+    RoundRobin,
+    /// Give everything to the highest-priority stream first (the
+    /// "more viewers, poor quality" end of Fig. 8's trade-off).
+    PriorityFirst,
+    /// Split capacity evenly across accepted streams (the "fewer viewers,
+    /// better quality" end).
+    EqualSplit,
+}
+
+/// Whether view groups are scoped per LSC region or session-global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupScope {
+    /// One group per (LSC region, view) — the paper's architecture.
+    PerLsc,
+    /// One group per view across all regions (an ablation that trades
+    /// locality for sharing).
+    Global,
+}
+
+/// Full configuration of a 4D TeleCast session.
+///
+/// [`SessionConfig::default`] reproduces the paper's evaluation setup
+/// (§VII): 2 producers × 8 streams at 2 Mbps, 6-stream views (3 per site),
+/// 12 Mbps viewer inbound, Δ = 60 s, `dmax` = 65 s, `dbuff` = 300 ms,
+/// 25 s cache, κ = 2, 6000 Mbps CDN.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// The producer sites of the 3DTI session.
+    pub sites: Vec<ProducerSite>,
+    /// Streams selected per local view (3 in the evaluation).
+    pub streams_per_local_view: usize,
+    /// Viewer inbound capacity distribution (`C_ibw`).
+    pub viewer_inbound: BandwidthProfile,
+    /// Viewer outbound capacity distribution (`C_obw`).
+    pub viewer_outbound: BandwidthProfile,
+    /// CDN configuration (pool, Δ, pricing).
+    pub cdn: CdnConfig,
+    /// Maximum tolerated capture→display delay (`dmax`).
+    pub dmax: SimDuration,
+    /// Viewer buffer length (`dbuff`).
+    pub dbuff: SimDuration,
+    /// Viewer cache length (`dcache`).
+    pub dcache: SimDuration,
+    /// Layer-width divisor κ (`τ = dbuff / κ`, κ ≥ 2).
+    pub kappa: u64,
+    /// Per-hop forwarding/processing delay at a viewer gateway (δ).
+    pub hop_processing: SimDuration,
+    /// Control-plane processing time at the LSC per join/view-change.
+    pub lsc_processing: SimDuration,
+    /// Placement strategy (paper: push-down).
+    pub placement: PlacementStrategy,
+    /// Outbound allocation policy (paper: round-robin).
+    pub outbound_policy: OutboundPolicy,
+    /// Whether the delay-layer subscription machinery is active; disabling
+    /// it is the "no view synchronization" ablation.
+    pub layering_enabled: bool,
+    /// Period of the §VI delay-layer adaptation loop (viewers re-derive
+    /// their layers from the currently observed network delays and
+    /// re-subscribe if the κ bound drifted). `None` disables periodic
+    /// adaptation; structural changes still trigger resynchronisation.
+    pub adaptation_period: Option<SimDuration>,
+    /// Scope of view groups.
+    pub group_scope: GroupScope,
+    /// Master seed for all stochastic inputs.
+    pub seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            sites: ProducerSite::teeve_pair().to_vec(),
+            streams_per_local_view: 3,
+            viewer_inbound: BandwidthProfile::fixed_mbps(12),
+            viewer_outbound: BandwidthProfile::uniform_mbps(0, 12),
+            cdn: CdnConfig::default(),
+            dmax: SimDuration::from_secs(65),
+            dbuff: SimDuration::from_millis(300),
+            dcache: SimDuration::from_secs(25),
+            kappa: 2,
+            hop_processing: SimDuration::from_millis(100),
+            lsc_processing: SimDuration::from_millis(20),
+            placement: PlacementStrategy::PushDown,
+            outbound_policy: OutboundPolicy::RoundRobin,
+            layering_enabled: true,
+            adaptation_period: None,
+            group_scope: GroupScope::PerLsc,
+            seed: 42,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sites.is_empty() {
+            return Err("at least one producer site is required".into());
+        }
+        if self.streams_per_local_view == 0 {
+            return Err("streams_per_local_view must be positive".into());
+        }
+        if self.kappa < 2 {
+            return Err("kappa must be at least 2 (the paper requires κ ≥ 2)".into());
+        }
+        if self.dbuff.is_zero() {
+            return Err("dbuff must be positive".into());
+        }
+        if self.dmax <= self.cdn.delta {
+            return Err("dmax must exceed the CDN delay Δ".into());
+        }
+        if let PlacementStrategy::Random { probes: 0 } = self.placement {
+            return Err("random placement needs at least one probe".into());
+        }
+        Ok(())
+    }
+
+    /// The layer width `τ = dbuff / κ`.
+    pub fn tau(&self) -> SimDuration {
+        self.dbuff / self.kappa
+    }
+
+    /// Convenience: the paper's Fig. 13/15 sweep variants — same config,
+    /// different outbound profile.
+    pub fn with_outbound(mut self, profile: BandwidthProfile) -> Self {
+        self.viewer_outbound = profile;
+        self
+    }
+
+    /// Convenience: replace the CDN configuration.
+    pub fn with_cdn(mut self, cdn: CdnConfig) -> Self {
+        self.cdn = cdn;
+        self
+    }
+
+    /// Convenience: replace the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telecast_net::Bandwidth;
+
+    #[test]
+    fn default_is_the_paper_setup() {
+        let c = SessionConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.sites.len(), 2);
+        assert_eq!(c.sites[0].streams().len(), 8);
+        assert_eq!(c.streams_per_local_view, 3);
+        assert_eq!(c.dmax, SimDuration::from_secs(65));
+        assert_eq!(c.tau(), SimDuration::from_millis(150));
+        assert_eq!(c.cdn.outbound_capacity, Bandwidth::from_mbps(6_000));
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = SessionConfig::default();
+        c.kappa = 1;
+        assert!(c.validate().unwrap_err().contains("kappa"));
+
+        let mut c = SessionConfig::default();
+        c.sites.clear();
+        assert!(c.validate().unwrap_err().contains("producer site"));
+
+        let mut c = SessionConfig::default();
+        c.dmax = SimDuration::from_secs(10); // below Δ = 60 s
+        assert!(c.validate().unwrap_err().contains("dmax"));
+
+        let mut c = SessionConfig::default();
+        c.placement = PlacementStrategy::Random { probes: 0 };
+        assert!(c.validate().unwrap_err().contains("probe"));
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = SessionConfig::default()
+            .with_outbound(BandwidthProfile::fixed_mbps(8))
+            .with_seed(7);
+        assert_eq!(c.viewer_outbound, BandwidthProfile::fixed_mbps(8));
+        assert_eq!(c.seed, 7);
+    }
+}

@@ -1,0 +1,287 @@
+//! The delay layer hierarchy (paper §V-B1).
+//!
+//! Layers discretise end-to-end delay below the CDN: Layer-y contains
+//! delays in `[Δ + yτ, Δ + (y+1)τ)` with `τ = dbuff / κ`. Equation 1 maps
+//! a parent's delay plus the hop cost to the child's layer; Equation 2
+//! turns a target layer into the cache subscription point (a frame
+//! number); Layer Property 2 reduces view synchronization to bounding the
+//! per-view layer spread by κ.
+
+use serde::{Deserialize, Serialize};
+use telecast_media::FrameNumber;
+use telecast_sim::SimDuration;
+
+/// The session-wide layer geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerScheme {
+    /// CDN delivery delay Δ — the delay of Layer-0's lower edge.
+    delta: SimDuration,
+    /// Layer width τ.
+    tau: SimDuration,
+    /// κ (layer-spread bound for synchronous rendering).
+    kappa: u64,
+    /// Largest admissible layer index `⌊(dmax − Δ)/τ⌋`.
+    max_layer: u64,
+}
+
+impl LayerScheme {
+    /// Builds the scheme from the session parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if κ < 2, `dbuff` is zero, or `dmax ≤ Δ` — these are
+    /// validated at configuration time.
+    pub fn new(delta: SimDuration, dbuff: SimDuration, kappa: u64, dmax: SimDuration) -> Self {
+        assert!(kappa >= 2, "the paper requires κ ≥ 2");
+        assert!(!dbuff.is_zero(), "dbuff must be positive");
+        assert!(dmax > delta, "dmax must exceed Δ");
+        let tau = dbuff / kappa;
+        assert!(!tau.is_zero(), "τ must be positive");
+        LayerScheme {
+            delta,
+            tau,
+            kappa,
+            max_layer: (dmax - delta) / tau,
+        }
+    }
+
+    /// The CDN delay Δ.
+    pub fn delta(&self) -> SimDuration {
+        self.delta
+    }
+
+    /// The layer width τ.
+    pub fn tau(&self) -> SimDuration {
+        self.tau
+    }
+
+    /// κ.
+    pub fn kappa(&self) -> u64 {
+        self.kappa
+    }
+
+    /// Largest layer index a stream may occupy without violating `dmax`.
+    pub fn max_layer(&self) -> u64 {
+        self.max_layer
+    }
+
+    /// Layer of an absolute end-to-end (capture→receive) delay. Delays
+    /// below Δ (impossible through the CDN path) clamp to Layer-0.
+    pub fn layer_of_delay(&self, e2e: SimDuration) -> u64 {
+        e2e.saturating_sub(self.delta) / self.tau
+    }
+
+    /// **Equation 1**: the layer a viewer reaches for a stream given its
+    /// parent's end-to-end delay, the parent→viewer propagation delay and
+    /// the parent's processing delay δ.
+    pub fn child_layer(
+        &self,
+        parent_e2e: SimDuration,
+        dprop: SimDuration,
+        processing: SimDuration,
+    ) -> u64 {
+        self.layer_of_delay(parent_e2e + dprop + processing)
+    }
+
+    /// End-to-end delay of the *top* (lowest-delay edge) of a layer —
+    /// where layer push-down positions a stream (the paper applies offset
+    /// `ℛ = τ·r`, i.e. the top of the modified layer, so push-downs fade
+    /// out along the child chain).
+    pub fn delay_at_top_of(&self, layer: u64) -> SimDuration {
+        self.delta + self.tau * layer
+    }
+
+    /// **Equation 2**: the subscription frame number that positions a
+    /// viewer at `target_layer` for a stream whose producer's latest frame
+    /// is `latest` at rate `fps`, over a parent at `dprop` with processing
+    /// delay δ. Applies `ℛ = τ·r`.
+    pub fn subscription_frame(
+        &self,
+        latest: FrameNumber,
+        fps: u32,
+        target_layer: u64,
+        dprop: SimDuration,
+        processing: SimDuration,
+    ) -> FrameNumber {
+        let frames = |d: SimDuration| d.as_micros() * fps as u64 / 1_000_000;
+        // n′ = n − (Δ + (x+1)τ)·r + (dprop + δ)·r + dprop·r + ℛ, ℛ = τ·r
+        //    = n − (Δ + x·τ)·r + (2·dprop + δ)·r
+        let back = frames(self.delta + self.tau * target_layer);
+        let forward = frames(dprop + dprop + processing);
+        latest.saturating_back(back).forward(forward)
+    }
+
+    /// **Layer push-down** (§V-B3): clamps every layer to within κ of the
+    /// deepest one. Returns the number of streams whose layer changed.
+    ///
+    /// The paper names the deepest index `Layer_min^u` (its layers count
+    /// downward); we keep the arithmetic identical:
+    /// `Layer_Si := max(Layer_Si, max_i(Layer_Si) − κ)`.
+    pub fn push_down(&self, layers: &mut [u64]) -> usize {
+        let Some(&deepest) = layers.iter().max() else {
+            return 0;
+        };
+        let floor = deepest.saturating_sub(self.kappa);
+        let mut changed = 0;
+        for layer in layers {
+            if *layer < floor {
+                *layer = floor;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// **Layer Property 2**: whether streams at these layers can be
+    /// rendered synchronously (spread ≤ κ ⇒ inter-stream delay ≤ dbuff).
+    pub fn renderable(&self, layers: &[u64]) -> bool {
+        match (layers.iter().min(), layers.iter().max()) {
+            (Some(&lo), Some(&hi)) => hi - lo <= self.kappa,
+            _ => true,
+        }
+    }
+
+    /// **Layer Property 1**: the inclusive range of layers a parent with
+    /// end-to-end delay `parent_e2e` can share with a child at `dprop`,
+    /// given its buffer+cache extent.
+    pub fn shareable_range(
+        &self,
+        parent_e2e: SimDuration,
+        dprop: SimDuration,
+        processing: SimDuration,
+        dcache: SimDuration,
+        dbuff: SimDuration,
+    ) -> (u64, u64) {
+        let lo = self.child_layer(parent_e2e, dprop, processing);
+        let hi = self.layer_of_delay(parent_e2e + dprop + processing + dcache + dbuff);
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telecast_sim::SimDuration as D;
+
+    fn paper_scheme() -> LayerScheme {
+        // Δ = 60 s, dbuff = 300 ms, κ = 2, dmax = 65 s → τ = 150 ms,
+        // max layer = 5 s / 150 ms = 33.
+        LayerScheme::new(D::from_secs(60), D::from_millis(300), 2, D::from_secs(65))
+    }
+
+    #[test]
+    fn geometry_matches_paper() {
+        let s = paper_scheme();
+        assert_eq!(s.tau(), D::from_millis(150));
+        assert_eq!(s.max_layer(), 33);
+        assert_eq!(s.delta(), D::from_secs(60));
+    }
+
+    #[test]
+    fn layer_of_delay_buckets() {
+        let s = paper_scheme();
+        assert_eq!(s.layer_of_delay(D::from_secs(60)), 0);
+        assert_eq!(s.layer_of_delay(D::from_millis(60_149)), 0);
+        assert_eq!(s.layer_of_delay(D::from_millis(60_150)), 1);
+        assert_eq!(s.layer_of_delay(D::from_millis(60_450)), 3);
+        // Below Δ clamps to 0.
+        assert_eq!(s.layer_of_delay(D::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn eq1_child_layer() {
+        let s = paper_scheme();
+        // CDN child: parent delay Δ, cheap hop → Layer-0.
+        assert_eq!(s.child_layer(D::from_secs(60), D::from_millis(20), D::from_millis(20)), 0);
+        // One more hop of 100 ms processing + 60 ms prop → 160 ms past Δ → Layer-1.
+        assert_eq!(
+            s.child_layer(D::from_secs(60), D::from_millis(60), D::from_millis(100)),
+            1
+        );
+    }
+
+    #[test]
+    fn layer_tops_are_affine() {
+        let s = paper_scheme();
+        assert_eq!(s.delay_at_top_of(0), D::from_secs(60));
+        assert_eq!(s.delay_at_top_of(4), D::from_millis(60_600));
+    }
+
+    #[test]
+    fn eq2_subscription_frame() {
+        let s = paper_scheme();
+        let latest = FrameNumber::new(10_000);
+        // Target Layer-0 with a free hop: n′ = n − Δ·r = 10_000 − 600.
+        let n = s.subscription_frame(latest, 10, 0, D::ZERO, D::ZERO);
+        assert_eq!(n.value(), 9_400);
+        // One layer deeper backs off τ·r = 1.5 frames → 1 more at 10 fps.
+        let n1 = s.subscription_frame(latest, 10, 1, D::ZERO, D::ZERO);
+        assert_eq!(n1.value(), 9_399);
+        // Propagation compensation moves the point forward again.
+        let n2 = s.subscription_frame(latest, 10, 0, D::from_millis(100), D::ZERO);
+        assert_eq!(n2.value(), 9_402);
+    }
+
+    #[test]
+    fn eq2_saturates_at_session_start() {
+        let s = paper_scheme();
+        let n = s.subscription_frame(FrameNumber::new(5), 10, 3, D::ZERO, D::ZERO);
+        assert_eq!(n.value(), 0, "early-session subscription clamps to frame 0");
+    }
+
+    #[test]
+    fn push_down_bounds_spread_by_kappa() {
+        let s = paper_scheme();
+        let mut layers = vec![0, 1, 5, 2];
+        let changed = s.push_down(&mut layers);
+        assert_eq!(layers, vec![3, 3, 5, 3]);
+        assert_eq!(changed, 3);
+        assert!(s.renderable(&layers));
+    }
+
+    #[test]
+    fn push_down_noop_when_within_bound() {
+        let s = paper_scheme();
+        let mut layers = vec![4, 5, 6];
+        assert_eq!(s.push_down(&mut layers), 0);
+        assert_eq!(layers, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn push_down_empty_is_zero() {
+        let s = paper_scheme();
+        let mut layers: Vec<u64> = vec![];
+        assert_eq!(s.push_down(&mut layers), 0);
+        assert!(s.renderable(&layers));
+    }
+
+    #[test]
+    fn renderable_is_layer_property_2() {
+        let s = paper_scheme();
+        assert!(s.renderable(&[3, 4, 5]));
+        assert!(!s.renderable(&[3, 6]));
+        assert!(s.renderable(&[7]));
+    }
+
+    #[test]
+    fn shareable_range_covers_cache() {
+        let s = paper_scheme();
+        let (lo, hi) = s.shareable_range(
+            D::from_secs(60),
+            D::from_millis(30),
+            D::from_millis(100),
+            D::from_secs(25),
+            D::from_millis(300),
+        );
+        assert_eq!(lo, 0);
+        // 25.3 s of cache+buffer past the receive point ≈ 169 layers.
+        assert!(hi > 160, "cache shares deep layers, got {hi}");
+        assert!(lo <= hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "κ ≥ 2")]
+    fn kappa_one_panics() {
+        LayerScheme::new(D::from_secs(60), D::from_millis(300), 1, D::from_secs(65));
+    }
+}

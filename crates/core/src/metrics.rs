@@ -1,0 +1,126 @@
+//! Session-wide measurements — the quantities the paper's figures plot.
+
+use telecast_sim::{Cdf, Counter, Histogram, SimTime, TimeSeries};
+
+/// Accumulated counters and samples of one session run.
+#[derive(Debug, Clone)]
+pub struct SessionMetrics {
+    /// Streams requested across all join attempts (`N_total`).
+    pub requested_streams: Counter,
+    /// Streams accepted at admission (`N_accepted`).
+    pub accepted_streams: Counter,
+    /// Viewers admitted (≥ one stream per site).
+    pub admitted_viewers: Counter,
+    /// Viewers rejected at admission.
+    pub rejected_viewers: Counter,
+    /// Join delay samples in milliseconds (Fig. 14(c)).
+    pub join_delays_ms: Histogram,
+    /// View-change delay samples in milliseconds (Fig. 14(c)).
+    pub view_change_delays_ms: Histogram,
+    /// Subscription-protocol messages sent (overhead).
+    pub subscription_messages: Counter,
+    /// Push-down displacements performed by Algorithm 1.
+    pub displacements: Counter,
+    /// Streams dropped because their layer exceeded the admissible
+    /// maximum.
+    pub layer_drops: Counter,
+    /// Victim viewers produced by departures and view changes.
+    pub victims: Counter,
+    /// Victims recovered into a P2P position (vs staying on the CDN).
+    pub victims_repositioned: Counter,
+    /// CDN outbound usage over time, in Mbps (Fig. 13(a) reports the
+    /// peak).
+    pub cdn_usage_mbps: TimeSeries,
+    /// Times the subscription-chain damping cap was hit (should stay 0).
+    pub resync_cap_hits: Counter,
+}
+
+impl Default for SessionMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        SessionMetrics {
+            requested_streams: Counter::new("requested_streams"),
+            accepted_streams: Counter::new("accepted_streams"),
+            admitted_viewers: Counter::new("admitted_viewers"),
+            rejected_viewers: Counter::new("rejected_viewers"),
+            join_delays_ms: Histogram::new(),
+            view_change_delays_ms: Histogram::new(),
+            subscription_messages: Counter::new("subscription_messages"),
+            displacements: Counter::new("displacements"),
+            layer_drops: Counter::new("layer_drops"),
+            victims: Counter::new("victims"),
+            victims_repositioned: Counter::new("victims_repositioned"),
+            cdn_usage_mbps: TimeSeries::new(),
+            resync_cap_hits: Counter::new("resync_cap_hits"),
+        }
+    }
+
+    /// The acceptance ratio `ρ = N_accepted / N_total` (1 if nothing was
+    /// requested).
+    pub fn acceptance_ratio(&self) -> f64 {
+        let total = self.requested_streams.value();
+        if total == 0 {
+            1.0
+        } else {
+            self.accepted_streams.value() as f64 / total as f64
+        }
+    }
+
+    /// Peak CDN outbound usage observed, in Mbps.
+    pub fn peak_cdn_mbps(&self) -> f64 {
+        self.cdn_usage_mbps.peak()
+    }
+
+    /// Records a CDN usage sample.
+    pub fn sample_cdn_usage(&mut self, at: SimTime, mbps: f64) {
+        self.cdn_usage_mbps.record(at, mbps);
+    }
+
+    /// CDF of join delays (milliseconds).
+    pub fn join_delay_cdf(&self) -> Cdf {
+        self.join_delays_ms.cdf()
+    }
+
+    /// CDF of view-change delays (milliseconds).
+    pub fn view_change_delay_cdf(&self) -> Cdf {
+        self.view_change_delays_ms.cdf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_ratio_division() {
+        let mut m = SessionMetrics::new();
+        assert_eq!(m.acceptance_ratio(), 1.0);
+        m.requested_streams.add(10);
+        m.accepted_streams.add(7);
+        assert!((m.acceptance_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdn_peak_tracks_series() {
+        let mut m = SessionMetrics::new();
+        m.sample_cdn_usage(SimTime::from_secs(1), 100.0);
+        m.sample_cdn_usage(SimTime::from_secs(2), 450.0);
+        m.sample_cdn_usage(SimTime::from_secs(3), 20.0);
+        assert_eq!(m.peak_cdn_mbps(), 450.0);
+    }
+
+    #[test]
+    fn delay_cdfs_are_exposed() {
+        let mut m = SessionMetrics::new();
+        m.join_delays_ms.record(250.0);
+        m.join_delays_ms.record(750.0);
+        let cdf = m.join_delay_cdf();
+        assert!((cdf.fraction_at(500.0) - 0.5).abs() < 1e-9);
+    }
+}

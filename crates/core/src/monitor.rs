@@ -1,0 +1,150 @@
+//! The GSC monitoring component (paper §III).
+//!
+//! "The GSC also continuously monitors producers metadata (such as frame
+//! rate, frame number, and frame size for each stream), stream priorities
+//! of each viewer's request, and geographical location of the viewers.
+//! All metadata information are available for the viewers upon query."
+//!
+//! [`GscMonitor`] is that registry: per-stream production metadata (the
+//! `n` and `r` of Equation 2) plus the region → LSC directory used to
+//! route join requests.
+
+use std::collections::{BTreeMap, HashMap};
+
+use telecast_media::{FrameNumber, ProducerSite, StreamId};
+use telecast_net::{NodeId, Region};
+use telecast_sim::SimTime;
+
+/// Production metadata of one stream, as the GSC reports it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamMeta {
+    /// Frame rate `r` in frames per second.
+    pub fps: u32,
+    /// Nominal bitrate in Kbps.
+    pub bitrate_kbps: u64,
+    /// Mean encoded frame size in bytes.
+    pub mean_frame_bytes: u64,
+}
+
+/// The Global Session Controller's monitoring state.
+#[derive(Debug, Clone)]
+pub struct GscMonitor {
+    streams: HashMap<StreamId, StreamMeta>,
+    lsc_by_region: BTreeMap<Region, NodeId>,
+}
+
+impl GscMonitor {
+    /// Builds the monitor from the session's producer sites and the
+    /// region → LSC directory.
+    pub fn new(sites: &[ProducerSite], lsc_by_region: BTreeMap<Region, NodeId>) -> Self {
+        let mut streams = HashMap::new();
+        for site in sites {
+            for s in site.streams() {
+                streams.insert(
+                    s.id,
+                    StreamMeta {
+                        fps: s.fps,
+                        bitrate_kbps: s.bitrate_kbps,
+                        mean_frame_bytes: s.mean_frame_bytes(),
+                    },
+                );
+            }
+        }
+        GscMonitor {
+            streams,
+            lsc_by_region,
+        }
+    }
+
+    /// Metadata for `stream`, if it is produced in this session.
+    pub fn stream_meta(&self, stream: StreamId) -> Option<StreamMeta> {
+        self.streams.get(&stream).copied()
+    }
+
+    /// The latest captured frame number `n` of `stream` at virtual time
+    /// `at` — what Eq. 2 queries ("collected from the GSC monitoring").
+    /// Producers capture from time zero at their configured rate.
+    pub fn latest_frame(&self, stream: StreamId, at: SimTime) -> Option<FrameNumber> {
+        let meta = self.streams.get(&stream)?;
+        Some(FrameNumber::new(
+            at.as_micros() * meta.fps as u64 / 1_000_000,
+        ))
+    }
+
+    /// The LSC responsible for `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region has no LSC — the session registers one per
+    /// region at construction.
+    pub fn lsc_for(&self, region: Region) -> NodeId {
+        self.lsc_by_region[&region]
+    }
+
+    /// Number of monitored streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telecast_net::{NodeKind, NodeRegistry};
+
+    fn monitor() -> GscMonitor {
+        let mut reg = NodeRegistry::new();
+        let mut lscs = BTreeMap::new();
+        for &r in &Region::ALL {
+            lscs.insert(r, reg.add(NodeKind::LocalController, r));
+        }
+        GscMonitor::new(&ProducerSite::teeve_pair(), lscs)
+    }
+
+    #[test]
+    fn registers_every_producer_stream() {
+        let m = monitor();
+        assert_eq!(m.stream_count(), 16);
+        let any = ProducerSite::teeve_pair()[0].streams()[3].id;
+        let meta = m.stream_meta(any).expect("registered");
+        assert_eq!(meta.fps, 10);
+        assert_eq!(meta.bitrate_kbps, 2_000);
+        assert_eq!(meta.mean_frame_bytes, 25_000);
+    }
+
+    #[test]
+    fn latest_frame_tracks_the_clock() {
+        let m = monitor();
+        let id = ProducerSite::teeve_pair()[0].streams()[0].id;
+        assert_eq!(
+            m.latest_frame(id, SimTime::ZERO),
+            Some(FrameNumber::ZERO)
+        );
+        // 10 fps → frame 600 after one minute.
+        assert_eq!(
+            m.latest_frame(id, SimTime::from_secs(60)),
+            Some(FrameNumber::new(600))
+        );
+        // Sub-frame-period instants truncate.
+        assert_eq!(
+            m.latest_frame(id, SimTime::from_millis(99)),
+            Some(FrameNumber::ZERO)
+        );
+    }
+
+    #[test]
+    fn unknown_stream_is_none() {
+        let m = monitor();
+        let foreign = StreamId::new(telecast_media::SiteId::new(9), 0);
+        assert_eq!(m.stream_meta(foreign), None);
+        assert_eq!(m.latest_frame(foreign, SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn lsc_directory_covers_all_regions() {
+        let m = monitor();
+        for &r in &Region::ALL {
+            let _ = m.lsc_for(r); // must not panic
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Typed control-plane messages (Figures 5 and 6 of the paper).
+//!
+//! The simulator executes these exchanges implicitly (their latencies are
+//! what the join / view-change delay metrics measure); this module gives
+//! them explicit types so protocol sequences can be constructed, logged
+//! and asserted on — the in-simulator stand-in for the S-RTP control
+//! channel of [4], which was never published (DESIGN.md §4).
+
+use serde::{Deserialize, Serialize};
+use telecast_media::{FrameNumber, StreamId, ViewId};
+use telecast_net::NodeId;
+use telecast_sim::SimTime;
+
+/// A control-plane message of the join (Fig. 5) or subscription (Fig. 6)
+/// protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlMessage {
+    /// Viewer → GSC: initial registration.
+    JoinRequest {
+        /// The joining viewer.
+        viewer: NodeId,
+    },
+    /// GSC → LSC: forwarded registration for the viewer's region.
+    JoinForward {
+        /// The joining viewer.
+        viewer: NodeId,
+        /// The responsible LSC.
+        lsc: NodeId,
+    },
+    /// LSC → viewer: registration accepted.
+    JoinOk {
+        /// The joining viewer.
+        viewer: NodeId,
+    },
+    /// Viewer → LSC: the view request with capacity advertisement.
+    ViewRequest {
+        /// The requesting viewer.
+        viewer: NodeId,
+        /// The requested global view.
+        view: ViewId,
+    },
+    /// LSC → viewer (and parents): overlay information — parents and
+    /// children per accepted stream.
+    OverlayInfo {
+        /// The recipient.
+        to: NodeId,
+        /// The stream the topology entry concerns.
+        stream: StreamId,
+    },
+    /// Viewer → parent: start streaming from a subscription point
+    /// (Fig. 6 `Subscription-Start`).
+    SubscriptionStart {
+        /// The subscribing child.
+        child: NodeId,
+        /// The parent being subscribed to.
+        parent: NodeId,
+        /// The stream.
+        stream: StreamId,
+        /// Cache position to stream from (Eq. 2), `None` for live.
+        from_frame: Option<FrameNumber>,
+    },
+    /// Viewer → child: an updated subscription point after a layer change
+    /// (Fig. 6 `Subscription-Update`).
+    SubscriptionUpdate {
+        /// The child whose feed position changes.
+        child: NodeId,
+        /// The parent issuing the update.
+        parent: NodeId,
+        /// The stream.
+        stream: StreamId,
+        /// The new cache position.
+        from_frame: FrameNumber,
+    },
+}
+
+impl ControlMessage {
+    /// The protocol phase this message belongs to, for accounting.
+    pub fn phase(&self) -> ProtocolPhase {
+        match self {
+            ControlMessage::JoinRequest { .. }
+            | ControlMessage::JoinForward { .. }
+            | ControlMessage::JoinOk { .. }
+            | ControlMessage::ViewRequest { .. } => ProtocolPhase::Join,
+            ControlMessage::OverlayInfo { .. } => ProtocolPhase::OverlayConstruction,
+            ControlMessage::SubscriptionStart { .. }
+            | ControlMessage::SubscriptionUpdate { .. } => ProtocolPhase::Subscription,
+        }
+    }
+}
+
+/// Coarse protocol phases, matching the three LSC processing steps the
+/// join delay accounts for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolPhase {
+    /// Registration legs (viewer ↔ GSC ↔ LSC).
+    Join,
+    /// Bandwidth allocation + topology formation results.
+    OverlayConstruction,
+    /// Stream subscription (start/update) exchanges.
+    Subscription,
+}
+
+/// An append-only log of control messages with timestamps; protocol
+/// tests assert on sequences, overhead studies on counts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProtocolLog {
+    entries: Vec<(SimTime, ControlMessage)>,
+}
+
+impl ProtocolLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous entry (control channels are
+    /// logged in simulation order).
+    pub fn record(&mut self, at: SimTime, message: ControlMessage) {
+        if let Some(&(last, _)) = self.entries.last() {
+            assert!(at >= last, "protocol log must be appended in time order");
+        }
+        self.entries.push((at, message));
+    }
+
+    /// All entries in time order.
+    pub fn entries(&self) -> &[(SimTime, ControlMessage)] {
+        &self.entries
+    }
+
+    /// Number of messages in the given phase.
+    pub fn count_phase(&self, phase: ProtocolPhase) -> usize {
+        self.entries
+            .iter()
+            .filter(|(_, m)| m.phase() == phase)
+            .count()
+    }
+
+    /// Number of logged messages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telecast_media::SiteId;
+    use telecast_net::{NodeKind, NodeRegistry, Region};
+
+    fn ids() -> (NodeId, NodeId, NodeId) {
+        let mut reg = NodeRegistry::new();
+        let a = reg.add(NodeKind::Viewer, Region::Asia);
+        let b = reg.add(NodeKind::Viewer, Region::Asia);
+        let c = reg.add(NodeKind::LocalController, Region::Asia);
+        (a, b, c)
+    }
+
+    #[test]
+    fn phases_classify_fig5_and_fig6() {
+        let (viewer, parent, lsc) = ids();
+        let stream = StreamId::new(SiteId::new(0), 0);
+        assert_eq!(
+            ControlMessage::JoinRequest { viewer }.phase(),
+            ProtocolPhase::Join
+        );
+        assert_eq!(
+            ControlMessage::JoinForward { viewer, lsc }.phase(),
+            ProtocolPhase::Join
+        );
+        assert_eq!(
+            ControlMessage::OverlayInfo { to: viewer, stream }.phase(),
+            ProtocolPhase::OverlayConstruction
+        );
+        assert_eq!(
+            ControlMessage::SubscriptionStart {
+                child: viewer,
+                parent,
+                stream,
+                from_frame: None
+            }
+            .phase(),
+            ProtocolPhase::Subscription
+        );
+        assert_eq!(
+            ControlMessage::SubscriptionUpdate {
+                child: viewer,
+                parent,
+                stream,
+                from_frame: FrameNumber::new(9)
+            }
+            .phase(),
+            ProtocolPhase::Subscription
+        );
+    }
+
+    #[test]
+    fn log_counts_by_phase() {
+        let (viewer, parent, _) = ids();
+        let stream = StreamId::new(SiteId::new(0), 1);
+        let mut log = ProtocolLog::new();
+        log.record(SimTime::ZERO, ControlMessage::JoinRequest { viewer });
+        log.record(
+            SimTime::from_millis(40),
+            ControlMessage::ViewRequest {
+                viewer,
+                view: ViewId::new(0),
+            },
+        );
+        log.record(
+            SimTime::from_millis(90),
+            ControlMessage::SubscriptionStart {
+                child: viewer,
+                parent,
+                stream,
+                from_frame: Some(FrameNumber::new(100)),
+            },
+        );
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count_phase(ProtocolPhase::Join), 2);
+        assert_eq!(log.count_phase(ProtocolPhase::Subscription), 1);
+        assert_eq!(log.count_phase(ProtocolPhase::OverlayConstruction), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_log_panics() {
+        let (viewer, _, _) = ids();
+        let mut log = ProtocolLog::new();
+        log.record(SimTime::from_millis(10), ControlMessage::JoinRequest { viewer });
+        log.record(SimTime::ZERO, ControlMessage::JoinRequest { viewer });
+    }
+}

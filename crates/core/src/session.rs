@@ -1,0 +1,2020 @@
+//! The 4D TeleCast session orchestrator.
+//!
+//! [`TelecastSession`] ties every substrate together and drives the
+//! paper's protocols through the discrete-event engine:
+//!
+//! * **join** (Fig. 5): viewer → GSC → LSC legs, then bandwidth
+//!   allocation (§IV-B1), topology formation per accepted stream
+//!   (§IV-B2), delay-layer subscription with push-down (§V), and the
+//!   subscription chain to displaced subtrees;
+//! * **view change** (§VI): instant CDN serving of the new view plus a
+//!   background join, with victim recovery;
+//! * **departure/failure**: victim viewers are parked on the CDN at their
+//!   current delay layer and repositioned via degree push-down in the
+//!   background.
+//!
+//! All stochastic inputs derive from the configured seed; two sessions
+//! with equal configuration and workload produce identical metrics.
+
+use std::collections::{BTreeMap, HashMap};
+
+use telecast_cdn::Cdn;
+use telecast_media::{PrioritizedStream, StreamId, ViewCatalog, ViewId};
+use telecast_net::{
+    Bandwidth, DelayModel, NodeId, NodeKind, NodePorts, NodeRegistry, Region, SyntheticPlanetLab,
+};
+use telecast_overlay::{GroupTable, StreamTree, SubscriptionPoint, TreeParent};
+use telecast_sim::{Engine, SimDuration, SimRng, SimTime};
+
+use crate::alloc::{allocate_inbound, allocate_outbound, covers_all_sites};
+use crate::config::{GroupScope, PlacementStrategy, SessionConfig};
+use crate::error::TelecastError;
+use crate::layers::LayerScheme;
+use crate::metrics::SessionMetrics;
+use crate::monitor::GscMonitor;
+use crate::viewer::{StreamSub, ViewerState, ViewerStatus};
+use telecast_media::FrameNumber;
+
+/// Damping cap for subscription-chain propagation per structural change.
+const RESYNC_VISIT_CAP: usize = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionEvent {
+    ProcessJoin {
+        viewer: NodeId,
+        view: ViewId,
+        requested_at: SimTime,
+    },
+    CompleteJoin {
+        viewer: NodeId,
+        requested_at: SimTime,
+    },
+    ProcessViewChange {
+        viewer: NodeId,
+        view: ViewId,
+        requested_at: SimTime,
+    },
+    BackgroundJoin {
+        viewer: NodeId,
+        view: ViewId,
+    },
+    ProcessDepart {
+        viewer: NodeId,
+    },
+    RepositionVictim {
+        viewer: NodeId,
+        stream: StreamId,
+    },
+    /// §VI delay-layer adaptation tick: every connected viewer re-derives
+    /// its layers from the currently observed delays.
+    PeriodicAdaptation,
+}
+
+/// Builder for [`TelecastSession`]; fixes the viewer population so the
+/// latency matrix can cover every node.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    config: SessionConfig,
+    viewer_count: usize,
+}
+
+impl SessionBuilder {
+    /// Number of viewer gateways to provision (they start idle; joins are
+    /// driven by the workload).
+    pub fn viewers(mut self, count: usize) -> Self {
+        self.viewer_count = count;
+        self
+    }
+
+    /// Constructs the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SessionConfig::validate`]).
+    pub fn build(self) -> TelecastSession {
+        let config = self.config;
+        if let Err(msg) = config.validate() {
+            panic!("invalid session config: {msg}");
+        }
+        let catalog = ViewCatalog::canonical(&config.sites, config.streams_per_local_view);
+        let scheme = LayerScheme::new(config.cdn.delta, config.dbuff, config.kappa, config.dmax);
+
+        let mut rng = SimRng::seed_from_u64(config.seed);
+        let mut topology_rng = rng.fork(1);
+        let workload_rng = rng.fork(2);
+
+        let mut registry = NodeRegistry::new();
+        // Producers, GSC, per-region LSCs and CDN edges first, then the
+        // viewer pool.
+        for site in &config.sites {
+            let _ = site; // producer gateways share the GSC's region here
+            registry.add(NodeKind::Producer, Region::NorthAmerica);
+        }
+        let gsc_node = registry.add(NodeKind::GlobalController, Region::NorthAmerica);
+        let mut lsc_nodes = BTreeMap::new();
+        let mut edge_nodes = BTreeMap::new();
+        for &region in &Region::ALL {
+            lsc_nodes.insert(region, registry.add(NodeKind::LocalController, region));
+            edge_nodes.insert(region, registry.add(NodeKind::CdnServer, region));
+        }
+        let mut viewer_pool = Vec::with_capacity(self.viewer_count);
+        let mut viewers = BTreeMap::new();
+        for _ in 0..self.viewer_count {
+            let region = sample_region(&mut topology_rng);
+            let node = registry.add(NodeKind::Viewer, region);
+            let ports = NodePorts::new(
+                config.viewer_inbound.sample(&mut topology_rng),
+                config.viewer_outbound.sample(&mut topology_rng),
+            );
+            viewers.insert(node, ViewerState::new(node, region, ports));
+            viewer_pool.push(node);
+        }
+
+        let delays = SyntheticPlanetLab::generate(&registry, config.seed ^ 0x0D15_EA5E);
+        let scope_count = match config.group_scope {
+            GroupScope::PerLsc => Region::ALL.len(),
+            GroupScope::Global => 1,
+        };
+
+        let mut stream_bw = HashMap::new();
+        let mut stream_fps = HashMap::new();
+        for site in &config.sites {
+            for s in site.streams() {
+                stream_bw.insert(s.id, Bandwidth::from_kbps(s.bitrate_kbps));
+                stream_fps.insert(s.id, s.fps);
+            }
+        }
+
+        let monitor = GscMonitor::new(&config.sites, lsc_nodes.clone());
+        TelecastSession {
+            cdn: Cdn::new(config.cdn),
+            monitor,
+            catalog,
+            scheme,
+            registry,
+            delays,
+            engine: Engine::new(),
+            gsc_node,
+            lsc_nodes,
+            edge_nodes,
+            scopes: (0..scope_count).map(|_| GroupTable::new()).collect(),
+            random_trees: HashMap::new(),
+            random_receivers: HashMap::new(),
+            random_edge_parent: HashMap::new(),
+            viewers,
+            viewer_pool,
+            stream_bw,
+            stream_fps,
+            metrics: SessionMetrics::new(),
+            rng: workload_rng,
+            adaptation_armed: false,
+            config,
+        }
+    }
+}
+
+fn sample_region(rng: &mut SimRng) -> Region {
+    let mut target = rng.unit();
+    for &region in &Region::ALL {
+        target -= region.weight();
+        if target <= 0.0 {
+            return region;
+        }
+    }
+    Region::Oceania
+}
+
+/// A running 4D TeleCast session.
+///
+/// ```
+/// use telecast::{SessionConfig, TelecastSession};
+/// use telecast_media::ViewId;
+///
+/// let mut session = TelecastSession::builder(SessionConfig::default())
+///     .viewers(10)
+///     .build();
+/// let ids: Vec<_> = session.viewer_ids().to_vec();
+/// for v in ids {
+///     session.request_join(v, ViewId::new(0))?;
+/// }
+/// session.run_to_idle();
+/// assert!(session.metrics().acceptance_ratio() > 0.9);
+/// # Ok::<(), telecast::TelecastError>(())
+/// ```
+pub struct TelecastSession {
+    config: SessionConfig,
+    catalog: ViewCatalog,
+    scheme: LayerScheme,
+    registry: NodeRegistry,
+    delays: SyntheticPlanetLab,
+    engine: Engine<SessionEvent>,
+    cdn: Cdn,
+    gsc_node: NodeId,
+    lsc_nodes: BTreeMap<Region, NodeId>,
+    edge_nodes: BTreeMap<Region, NodeId>,
+    /// Group tables, one per scope (region or global).
+    scopes: Vec<GroupTable>,
+    /// Global per-stream trees used by the Random baseline (no grouping).
+    random_trees: HashMap<StreamId, StreamTree>,
+    /// Receivers of each stream (Random baseline candidate index).
+    random_receivers: HashMap<StreamId, Vec<NodeId>>,
+    /// Per-edge outbound reservations of the Random baseline:
+    /// (child, stream) → parent that holds the reservation.
+    random_edge_parent: HashMap<(NodeId, StreamId), NodeId>,
+    viewers: BTreeMap<NodeId, ViewerState>,
+    viewer_pool: Vec<NodeId>,
+    stream_bw: HashMap<StreamId, Bandwidth>,
+    stream_fps: HashMap<StreamId, u32>,
+    metrics: SessionMetrics,
+    rng: SimRng,
+    adaptation_armed: bool,
+    monitor: GscMonitor,
+}
+
+impl TelecastSession {
+    /// Starts building a session.
+    pub fn builder(config: SessionConfig) -> SessionBuilder {
+        SessionBuilder {
+            config,
+            viewer_count: 0,
+        }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The canonical view catalog of this session.
+    pub fn catalog(&self) -> &ViewCatalog {
+        &self.catalog
+    }
+
+    /// The delay-layer geometry.
+    pub fn scheme(&self) -> &LayerScheme {
+        &self.scheme
+    }
+
+    /// The provisioned viewer gateways, in creation order.
+    pub fn viewer_ids(&self) -> &[NodeId] {
+        &self.viewer_pool
+    }
+
+    /// The registry of all network nodes (producers, controllers, CDN
+    /// edges, viewers).
+    pub fn registry(&self) -> &NodeRegistry {
+        &self.registry
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
+    }
+
+    /// The CDN under simulation.
+    pub fn cdn(&self) -> &Cdn {
+        &self.cdn
+    }
+
+    /// The GSC monitoring component (producer metadata, LSC directory).
+    pub fn gsc_monitor(&self) -> &GscMonitor {
+        &self.monitor
+    }
+
+    /// A viewer's state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelecastError::UnknownViewer`] for ids not in the pool.
+    pub fn viewer(&self, viewer: NodeId) -> Result<&ViewerState, TelecastError> {
+        self.viewers
+            .get(&viewer)
+            .ok_or(TelecastError::UnknownViewer(viewer))
+    }
+
+    // ------------------------------------------------------------------
+    // Public request API (schedules protocol events)
+    // ------------------------------------------------------------------
+
+    /// Requests that `viewer` join the session watching `view`, starting
+    /// the Fig. 5 protocol now.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ids, views outside the catalog, or double joins.
+    pub fn request_join(&mut self, viewer: NodeId, view: ViewId) -> Result<(), TelecastError> {
+        self.request_join_at(viewer, view, self.engine.now())
+    }
+
+    /// Like [`TelecastSession::request_join`] at an explicit future time.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ids, views outside the catalog, or double joins.
+    pub fn request_join_at(
+        &mut self,
+        viewer: NodeId,
+        view: ViewId,
+        at: SimTime,
+    ) -> Result<(), TelecastError> {
+        self.check_view(view)?;
+        let state = self
+            .viewers
+            .get(&viewer)
+            .ok_or(TelecastError::UnknownViewer(viewer))?;
+        if state.status == ViewerStatus::Connected || state.status == ViewerStatus::Joining {
+            return Err(TelecastError::AlreadyJoined(viewer));
+        }
+        let region = state.region;
+        // Four protocol legs (Fig. 5) plus LSC processing at each of the
+        // three steps: bandwidth allocation, overlay construction, stream
+        // subscription.
+        let legs = self.leg(viewer, self.gsc_node)
+            + self.leg(self.gsc_node, self.lsc_nodes[&region])
+            + self.leg(self.lsc_nodes[&region], viewer)
+            + self.leg(viewer, self.lsc_nodes[&region])
+            + self.config.lsc_processing * 3;
+        self.viewers.get_mut(&viewer).expect("checked").status = ViewerStatus::Joining;
+        self.engine.schedule_at(
+            at + legs,
+            SessionEvent::ProcessJoin {
+                viewer,
+                view,
+                requested_at: at,
+            },
+        );
+        self.arm_adaptation();
+        Ok(())
+    }
+
+    /// Schedules the first §VI adaptation tick once the session has any
+    /// activity; subsequent ticks self-schedule while other events remain
+    /// pending (so `run_to_idle` still terminates once the session
+    /// quiesces).
+    fn arm_adaptation(&mut self) {
+        if self.adaptation_armed {
+            return;
+        }
+        if let Some(period) = self.config.adaptation_period {
+            self.adaptation_armed = true;
+            self.engine
+                .schedule_after(period, SessionEvent::PeriodicAdaptation);
+        }
+    }
+
+    /// One §VI delay-layer adaptation pass: every connected viewer
+    /// re-derives its layers from the currently observed network delays
+    /// (which drift across trace epochs), re-bounding the view spread and
+    /// moving subscriptions up when its parents moved up.
+    fn periodic_adaptation(&mut self) {
+        let connected: Vec<(NodeId, ViewId, Region)> = self
+            .viewers
+            .values()
+            .filter(|v| v.status == ViewerStatus::Connected)
+            .filter_map(|v| v.view.map(|view| (v.node, view, v.region)))
+            .collect();
+        for (viewer, view, region) in connected {
+            let scope = self.scope_of(region);
+            self.propagate_resync(view, scope, vec![viewer]);
+        }
+        // Keep ticking only while the session is otherwise active.
+        if let Some(period) = self.config.adaptation_period {
+            if self.engine.peek_time().is_some() {
+                self.engine
+                    .schedule_after(period, SessionEvent::PeriodicAdaptation);
+            } else {
+                self.adaptation_armed = false;
+            }
+        }
+    }
+
+    /// Requests a view change for a connected viewer.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ids, views outside the catalog, or viewers that
+    /// are not connected.
+    pub fn request_view_change(
+        &mut self,
+        viewer: NodeId,
+        view: ViewId,
+    ) -> Result<(), TelecastError> {
+        self.check_view(view)?;
+        let state = self
+            .viewers
+            .get(&viewer)
+            .ok_or(TelecastError::UnknownViewer(viewer))?;
+        if state.status != ViewerStatus::Connected {
+            return Err(TelecastError::NotJoined(viewer));
+        }
+        let now = self.engine.now();
+        let legs = self.leg(viewer, self.lsc_nodes[&state.region]) + self.config.lsc_processing;
+        self.engine.schedule_at(
+            now + legs,
+            SessionEvent::ProcessViewChange {
+                viewer,
+                view,
+                requested_at: now,
+            },
+        );
+        Ok(())
+    }
+
+    /// Requests a graceful departure of a connected viewer.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ids or viewers that are not connected.
+    pub fn request_depart(&mut self, viewer: NodeId) -> Result<(), TelecastError> {
+        let state = self
+            .viewers
+            .get(&viewer)
+            .ok_or(TelecastError::UnknownViewer(viewer))?;
+        if state.status != ViewerStatus::Connected {
+            return Err(TelecastError::NotJoined(viewer));
+        }
+        let legs = self.leg(viewer, self.lsc_nodes[&state.region]);
+        self.engine
+            .schedule_after(legs, SessionEvent::ProcessDepart { viewer });
+        Ok(())
+    }
+
+    /// Simulates an abrupt viewer failure: no protocol legs; the overlay
+    /// discovers the hole immediately and recovers victims the same way a
+    /// departure does (§VI).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ids or viewers that are not connected.
+    pub fn fail_viewer(&mut self, viewer: NodeId) -> Result<(), TelecastError> {
+        let state = self
+            .viewers
+            .get(&viewer)
+            .ok_or(TelecastError::UnknownViewer(viewer))?;
+        if state.status != ViewerStatus::Connected {
+            return Err(TelecastError::NotJoined(viewer));
+        }
+        self.process_depart(viewer);
+        Ok(())
+    }
+
+    /// Runs the protocol engine until no events remain.
+    pub fn run_to_idle(&mut self) {
+        while let Some(fired) = self.engine.pop() {
+            self.dispatch(fired.payload);
+        }
+    }
+
+    /// Runs the protocol engine up to (and including) `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(fired) = self.engine.pop_until(deadline) {
+            self.dispatch(fired.payload);
+        }
+    }
+
+    /// Applies a scripted workload, mapping workload-local viewer indexes
+    /// onto this session's pool, then runs to idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload references more viewers than the pool holds.
+    pub fn run_workload(&mut self, workload: &telecast_media::ViewerWorkload) {
+        assert!(
+            workload.viewer_count() <= self.viewer_pool.len(),
+            "workload needs {} viewers but the pool has {}",
+            workload.viewer_count(),
+            self.viewer_pool.len()
+        );
+        let events: Vec<_> = workload.events().to_vec();
+        for (at, ev) in events {
+            // Drain everything scheduled before this workload instant so
+            // request_* sees up-to-date state.
+            self.run_until(at);
+            match ev {
+                telecast_media::WorkloadEvent::Join { viewer, view } => {
+                    let id = self.viewer_pool[viewer];
+                    let _ = self.request_join_at(id, view, at);
+                }
+                telecast_media::WorkloadEvent::ViewChange { viewer, view } => {
+                    let id = self.viewer_pool[viewer];
+                    let _ = self.request_view_change(id, view);
+                }
+                telecast_media::WorkloadEvent::Depart { viewer } => {
+                    let id = self.viewer_pool[viewer];
+                    let _ = self.request_depart(id);
+                }
+            }
+        }
+        self.run_to_idle();
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots (figure inputs)
+    // ------------------------------------------------------------------
+
+    /// Maximum delay layer per connected viewer with at least one
+    /// subscription (Fig. 14(a)).
+    pub fn layer_snapshot(&self) -> Vec<u64> {
+        self.viewers
+            .values()
+            .filter(|v| v.status == ViewerStatus::Connected)
+            .filter_map(|v| v.max_layer())
+            .collect()
+    }
+
+    /// Number of received streams per viewer that attempted a join,
+    /// including 0 entries for rejected viewers (Fig. 14(b)).
+    pub fn streams_per_viewer(&self) -> Vec<usize> {
+        self.viewers
+            .values()
+            .filter_map(|v| match v.status {
+                ViewerStatus::Connected => Some(v.stream_count() + v.temp_leases.len()),
+                ViewerStatus::Rejected => Some(0),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Fraction of currently-served streams whose upstream is the CDN
+    /// (Fig. 13(b)).
+    pub fn cdn_stream_fraction(&self) -> f64 {
+        let mut cdn = 0usize;
+        let mut total = 0usize;
+        for v in self.viewers.values() {
+            if v.status != ViewerStatus::Connected {
+                continue;
+            }
+            for sub in v.subs.values() {
+                total += 1;
+                if sub.parent == TreeParent::Cdn {
+                    cdn += 1;
+                }
+            }
+            cdn += v.temp_leases.len();
+            total += v.temp_leases.len();
+        }
+        if total == 0 {
+            0.0
+        } else {
+            cdn as f64 / total as f64
+        }
+    }
+
+    /// Fraction of delivered stream bandwidth that is *effective*, i.e.
+    /// renderable within the `dbuff` sync bound at its viewer (§I's
+    /// "effective resource utilization"). With layering enabled this is
+    /// 1.0 by construction; the no-layering ablation shows the loss.
+    pub fn effective_bandwidth_ratio(&self) -> f64 {
+        let mut delivered = 0u64;
+        let mut effective = 0u64;
+        for v in self.viewers.values() {
+            if v.status != ViewerStatus::Connected || v.subs.is_empty() {
+                continue;
+            }
+            let slowest = v
+                .subs
+                .values()
+                .map(|s| s.e2e)
+                .max()
+                .expect("non-empty subs");
+            for sub in v.subs.values() {
+                delivered += sub.bitrate_kbps;
+                // Renderable with the slowest stream: within dbuff of it.
+                if slowest - sub.e2e <= self.config.dbuff {
+                    effective += sub.bitrate_kbps;
+                }
+            }
+        }
+        if delivered == 0 {
+            1.0
+        } else {
+            effective as f64 / delivered as f64
+        }
+    }
+
+    /// Depths (hops below the CDN) of `viewer` in each stream tree it is
+    /// subscribed to; empty for disconnected viewers. The Overlay
+    /// Property says higher-outbound viewers sit closer to the root.
+    pub fn viewer_tree_depths(&self, viewer: NodeId) -> Vec<usize> {
+        let Some(state) = self.viewers.get(&viewer) else {
+            return Vec::new();
+        };
+        if state.status != ViewerStatus::Connected {
+            return Vec::new();
+        }
+        let is_random = matches!(self.config.placement, PlacementStrategy::Random { .. });
+        let scope = self.scope_of(state.region);
+        state
+            .subs
+            .keys()
+            .filter_map(|&sid| {
+                if is_random {
+                    self.random_trees.get(&sid).and_then(|t| t.depth_of(viewer))
+                } else {
+                    state.view.and_then(|v| {
+                        self.scopes[scope]
+                            .group(v)
+                            .and_then(|g| g.tree(sid))
+                            .and_then(|t| t.depth_of(viewer))
+                    })
+                }
+            })
+            .collect()
+    }
+
+    /// Mean tree depth across all active stream trees (ablation metric).
+    pub fn mean_tree_depth(&self) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        let mut record = |tree: &StreamTree| {
+            if !tree.is_empty() {
+                total += tree.metrics().mean_depth;
+                count += 1;
+            }
+        };
+        for scope in &self.scopes {
+            for (_, group) in scope.iter() {
+                for (_, tree) in group.trees() {
+                    record(tree);
+                }
+            }
+        }
+        for tree in self.random_trees.values() {
+            record(tree);
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, event: SessionEvent) {
+        match event {
+            SessionEvent::ProcessJoin {
+                viewer,
+                view,
+                requested_at,
+            } => self.process_join(viewer, view, requested_at, false),
+            SessionEvent::CompleteJoin {
+                viewer,
+                requested_at,
+            } => {
+                let delay = self.engine.now() - requested_at;
+                let _ = viewer;
+                self.metrics.join_delays_ms.record(delay.as_micros() as f64 / 1_000.0);
+            }
+            SessionEvent::ProcessViewChange {
+                viewer,
+                view,
+                requested_at,
+            } => self.process_view_change(viewer, view, requested_at),
+            SessionEvent::BackgroundJoin { viewer, view } => {
+                self.process_join(viewer, view, self.engine.now(), true);
+            }
+            SessionEvent::ProcessDepart { viewer } => self.process_depart(viewer),
+            SessionEvent::RepositionVictim { viewer, stream } => {
+                self.reposition_victim(viewer, stream);
+            }
+            SessionEvent::PeriodicAdaptation => self.periodic_adaptation(),
+        }
+        let mbps = self.cdn.outbound().used().as_mbps_f64();
+        self.metrics.sample_cdn_usage(self.engine.now(), mbps);
+        #[cfg(debug_assertions)]
+        self.debug_check_leases(&event);
+    }
+
+    /// Debug-build invariants: every CDN-parented subscription of a
+    /// connected viewer holds a lease, and inbound reservations cover
+    /// exactly the subscribed bitrates.
+    #[cfg(debug_assertions)]
+    fn debug_check_leases(&self, event: &SessionEvent) {
+        for (id, v) in &self.viewers {
+            if v.status != ViewerStatus::Connected {
+                continue;
+            }
+            for (sid, sub) in &v.subs {
+                if sub.parent == TreeParent::Cdn && sub.lease.is_none() {
+                    panic!(
+                        "lease invariant broken for viewer {id} stream {sid} after {event:?}"
+                    );
+                }
+            }
+            let subscribed: u64 = v.subs.values().map(|s| s.bitrate_kbps).sum();
+            if v.ports.inbound.used().as_kbps() != subscribed {
+                panic!(
+                    "inbound accounting broken for viewer {id}: reserved {} vs subscribed {} after {event:?}",
+                    v.ports.inbound.used(),
+                    Bandwidth::from_kbps(subscribed)
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Join
+    // ------------------------------------------------------------------
+
+    fn process_join(&mut self, viewer: NodeId, view: ViewId, requested_at: SimTime, background: bool) {
+        {
+            // A scripted departure may have raced this event.
+            let v = &self.viewers[&viewer];
+            let expected = if background {
+                v.status == ViewerStatus::Connected && v.view == Some(view)
+            } else {
+                v.status == ViewerStatus::Joining
+            };
+            if !expected {
+                return;
+            }
+        }
+        let (region, inbound_total, outbound_total) = {
+            let v = &self.viewers[&viewer];
+            (v.region, v.ports.inbound.total(), v.ports.outbound.total())
+        };
+        let streams = self.catalog.view(view).streams_by_priority();
+        self.metrics.requested_streams.add(streams.len() as u64);
+
+        let scope = self.scope_of(region);
+        if !matches!(self.config.placement, PlacementStrategy::Random { .. }) {
+            let all: Vec<StreamId> = self.catalog.view(view).streams().collect();
+            self.scopes[scope].group_for(view, all);
+        }
+
+        // Inbound allocation (§IV-B1) with the P2P/CDN supply condition.
+        let accepted = {
+            let group = self.scopes[scope].group(view);
+            let cdn = &self.cdn;
+            let placement = self.config.placement;
+            let plan = allocate_inbound(&streams, inbound_total, |s, bw| match placement {
+                PlacementStrategy::Random { .. } => true,
+                _ => {
+                    let tree_has = group
+                        .and_then(|g| g.tree(s))
+                        .map(|t| t.has_free_slot())
+                        .unwrap_or(false);
+                    tree_has || cdn.can_serve(bw)
+                }
+            });
+            plan.accepted
+        };
+
+        if !covers_all_sites(&accepted, self.config.sites.len()) {
+            self.finish_rejected(viewer, background);
+            return;
+        }
+
+        let out_plan = allocate_outbound(&accepted, outbound_total, self.config.outbound_policy);
+
+        // Place each accepted stream (§IV-B2). Failures drop the stream;
+        // a coverage-breaking failure rolls the whole join back.
+        let mut placements: Vec<(PrioritizedStream, TreeParent)> = Vec::new();
+        let mut displaced: Vec<NodeId> = Vec::new();
+        for s in &accepted {
+            let bw = self.stream_bw[&s.stream];
+            let deg = out_plan.out_degree(s.stream);
+            match self.place_stream(viewer, view, scope, region, s.stream, bw, deg, outbound_total)
+            {
+                Some((parent, disp)) => {
+                    if let Some(d) = disp {
+                        self.metrics.displacements.incr();
+                        // Displacing a direct CDN child takes over its
+                        // root slot: the CDN link count is unchanged, so
+                        // the lease transfers to the joiner.
+                        if parent == TreeParent::Cdn {
+                            let inherited = self
+                                .viewers
+                                .get_mut(&d)
+                                .and_then(|dv| dv.subs.get_mut(&s.stream))
+                                .and_then(|ds| {
+                                    ds.parent = TreeParent::Viewer(viewer);
+                                    ds.lease.take()
+                                });
+                            let lease = match inherited {
+                                Some(lease) => Some(lease),
+                                // Displaced node was mid-recovery without
+                                // a lease: acquire a fresh one.
+                                None => self.cdn.serve(s.stream, bw, region).ok(),
+                            };
+                            match lease {
+                                Some(lease) => self
+                                    .viewers
+                                    .get_mut(&viewer)
+                                    .expect("viewer exists")
+                                    .stash_cdn_lease(s.stream, lease),
+                                None => {
+                                    // No lease available at all: undo this
+                                    // placement; the stream is unserved.
+                                    displaced.push(d);
+                                    self.undo_placement(viewer, view, scope, s.stream, parent);
+                                    continue;
+                                }
+                            }
+                        }
+                        displaced.push(d);
+                    }
+                    placements.push((*s, parent));
+                }
+                None => {}
+            }
+        }
+
+        let placed: Vec<PrioritizedStream> = placements.iter().map(|(s, _)| *s).collect();
+        if !covers_all_sites(&placed, self.config.sites.len()) {
+            // Roll back: remove the fresh placements (no children yet).
+            for (s, parent) in &placements {
+                self.undo_placement(viewer, view, scope, s.stream, *parent);
+            }
+            self.finish_rejected(viewer, background);
+            return;
+        }
+
+        // Port reservations: inbound for every placed stream, outbound for
+        // the granted slots.
+        {
+            let inbound_used: Bandwidth = placed
+                .iter()
+                .map(|s| Bandwidth::from_kbps(s.bitrate_kbps))
+                .sum();
+            let outbound_used = out_plan.outbound_used;
+            let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+            v.ports
+                .inbound
+                .reserve(inbound_used)
+                .expect("inbound allocation fits by construction");
+            if !matches!(self.config.placement, PlacementStrategy::Random { .. }) {
+                v.ports
+                    .outbound
+                    .reserve(outbound_used)
+                    .expect("outbound allocation fits by construction");
+            }
+            for (s, deg) in &out_plan.slots {
+                v.out_degrees.insert(*s, *deg);
+            }
+        }
+
+        // Delay layers (§V): Eq. 1 per stream, then layer push-down.
+        let mut subs: Vec<(StreamId, StreamSub)> = Vec::new();
+        for (s, parent) in &placements {
+            let base_e2e = self.path_delay(viewer, s.stream, *parent);
+            let layer = self.scheme.layer_of_delay(base_e2e);
+            subs.push((
+                s.stream,
+                StreamSub {
+                    parent: *parent,
+                    lease: None, // CDN leases were recorded in place_stream
+                    base_e2e,
+                    e2e: base_e2e,
+                    layer,
+                    pushed_down: false,
+                    bitrate_kbps: s.bitrate_kbps,
+                },
+            ));
+        }
+        // Layering loop: push-down + residual alignment, re-provisioning
+        // layer violators from the CDN per §VI ("if the parent is another
+        // viewer, then LSC first tries to provision the stream from the
+        // CDN") before giving a stream up. Each pass either stabilises or
+        // removes/reroutes at least one stream, so it terminates.
+        let mut dropped: Vec<StreamId> = Vec::new();
+        if self.config.layering_enabled {
+            loop {
+                // Recompute layers from the current bases.
+                for (_, sub) in subs.iter_mut() {
+                    sub.layer = self.scheme.layer_of_delay(sub.base_e2e);
+                    sub.e2e = sub.base_e2e;
+                    sub.pushed_down = false;
+                }
+                let mut layers: Vec<u64> = subs.iter().map(|(_, s)| s.layer).collect();
+                let changed = self.scheme.push_down(&mut layers);
+                self.metrics.subscription_messages.add(changed as u64);
+                for ((_, sub), &layer) in subs.iter_mut().zip(layers.iter()) {
+                    if layer != sub.layer {
+                        sub.layer = layer;
+                        sub.pushed_down = true;
+                        sub.e2e = self.scheme.delay_at_top_of(layer);
+                    }
+                }
+                // Residual in-layer skew: a κ layer spread bounds delays
+                // by (κ+1)τ, not κτ; a final delayed receive aligns the
+                // fast streams so the dbuff guarantee of Layer Property 2
+                // holds exactly (§III-B's "delayed receive for the
+                // streams with lower end-to-end delay").
+                if let Some(deepest) = subs.iter().map(|(_, s)| s.e2e).max() {
+                    for (_, sub) in subs.iter_mut() {
+                        if deepest - sub.e2e > self.config.dbuff {
+                            sub.e2e = deepest - self.config.dbuff;
+                            sub.layer = self.scheme.layer_of_delay(sub.e2e);
+                            sub.pushed_down = true;
+                        }
+                    }
+                }
+                let Some(offender) = subs
+                    .iter()
+                    .position(|(_, sub)| sub.layer > self.scheme.max_layer())
+                else {
+                    break;
+                };
+                let (sid, sub) = subs[offender];
+                let bw = Bandwidth::from_kbps(sub.bitrate_kbps);
+                let rerouted = match sub.parent {
+                    TreeParent::Viewer(_) => match self.cdn.serve(sid, bw, region) {
+                        Ok(lease) => {
+                            // Move to the CDN root, keeping any displaced
+                            // child attached beneath us.
+                            if let Some(tree) = self.scopes[scope]
+                                .group_mut(view)
+                                .and_then(|g| g.tree_mut(sid))
+                            {
+                                tree.reparent_to_cdn(viewer);
+                            }
+                            let entry = &mut subs[offender].1;
+                            entry.parent = TreeParent::Cdn;
+                            entry.base_e2e = self.scheme.delta();
+                            self.viewers
+                                .get_mut(&viewer)
+                                .expect("viewer exists")
+                                .stash_cdn_lease(sid, lease);
+                            true
+                        }
+                        Err(_) => false,
+                    },
+                    TreeParent::Cdn => false,
+                };
+                if !rerouted {
+                    self.metrics.layer_drops.incr();
+                    self.undo_placement(viewer, view, scope, sid, sub.parent);
+                    let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+                    v.ports.inbound.release(bw);
+                    subs.remove(offender);
+                    dropped.push(sid);
+                }
+            }
+        }
+        let _ = &dropped;
+        let kept: Vec<(StreamId, StreamSub)> = subs;
+        let kept_streams: Vec<PrioritizedStream> = placed
+            .iter()
+            .filter(|p| kept.iter().any(|(sid, _)| *sid == p.stream))
+            .copied()
+            .collect();
+        if !covers_all_sites(&kept_streams, self.config.sites.len()) {
+            for (sid, sub) in &kept {
+                self.undo_placement(viewer, view, scope, *sid, sub.parent);
+                let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+                v.ports.inbound.release(Bandwidth::from_kbps(sub.bitrate_kbps));
+            }
+            // Release the outbound reservation made above (Random mode
+            // never reserved; its parents' ports hold per-edge amounts).
+            let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+            if !matches!(self.config.placement, PlacementStrategy::Random { .. })
+                && !out_plan.outbound_used.is_zero()
+            {
+                v.ports.outbound.release(out_plan.outbound_used);
+            }
+            v.out_degrees.clear();
+            self.finish_rejected(viewer, background);
+            return;
+        }
+
+        // Commit.
+        self.metrics.accepted_streams.add(kept.len() as u64);
+        self.metrics.admitted_viewers.incr();
+        self.metrics
+            .subscription_messages
+            .add(kept.len() as u64); // Subscription-Start to each parent
+        let mut parent_updates: Vec<(NodeId, StreamId, SubscriptionPoint)> = Vec::new();
+        {
+            let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+            v.status = ViewerStatus::Connected;
+            v.view = Some(view);
+            for (sid, mut sub) in kept {
+                // Reattach the lease handle recorded during placement.
+                if sub.parent == TreeParent::Cdn {
+                    sub.lease = v.temp_cdn_lease_take(sid);
+                }
+                if let TreeParent::Viewer(p) = sub.parent {
+                    let point = if sub.pushed_down {
+                        SubscriptionPoint::Frame(FrameNumber::ZERO) // fixed below
+                    } else {
+                        SubscriptionPoint::Live
+                    };
+                    parent_updates.push((p, sid, point));
+                }
+                v.subs.insert(sid, sub);
+            }
+        }
+        // Fill in Eq. 2 subscription points and update parent routing
+        // tables (Fig. 6 protocol).
+        for (p, sid, point) in parent_updates {
+            let point = match point {
+                SubscriptionPoint::Live => SubscriptionPoint::Live,
+                SubscriptionPoint::Frame(_) => {
+                    SubscriptionPoint::Frame(self.subscription_frame_for(viewer, sid))
+                }
+            };
+            let grandparent = self.upstream_node_of(p, sid);
+            let pv = self.viewers.get_mut(&p).expect("parent exists");
+            pv.routing.add_forward(sid, grandparent, viewer, point);
+        }
+        if matches!(self.config.placement, PlacementStrategy::Random { .. }) {
+            let sub_streams: Vec<StreamId> = self.viewers[&viewer].subs.keys().copied().collect();
+            for sid in sub_streams {
+                self.random_receivers.entry(sid).or_default().push(viewer);
+            }
+        }
+
+        // Background joins after a view change release the temporary CDN
+        // serves now that the overlay carries the view.
+        if background {
+            let leases: Vec<_> = {
+                let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+                let l: Vec<_> = v.temp_leases.drain_all();
+                l
+            };
+            for (_, lease) in leases {
+                self.cdn.release(lease);
+            }
+        } else {
+            // Join-completion timestamp: overlay info to the viewer plus
+            // the slowest subscription round trip to a parent.
+            let lsc = self.lsc_nodes[&region];
+            let mut completion = self.leg(lsc, viewer);
+            let parents: Vec<NodeId> = self.viewers[&viewer]
+                .subs
+                .values()
+                .filter_map(|s| match s.parent {
+                    TreeParent::Viewer(p) => Some(p),
+                    TreeParent::Cdn => None,
+                })
+                .collect();
+            let edge = self.edge_nodes[&region];
+            let mut slowest_rtt = self.leg(viewer, edge) + self.leg(edge, viewer);
+            for p in parents {
+                let rtt = self.leg(viewer, p) + self.leg(p, viewer);
+                if rtt > slowest_rtt {
+                    slowest_rtt = rtt;
+                }
+            }
+            completion += slowest_rtt;
+            self.engine.schedule_after(
+                completion,
+                SessionEvent::CompleteJoin {
+                    viewer,
+                    requested_at,
+                },
+            );
+        }
+
+        // Subscription chains towards displaced subtrees.
+        if !displaced.is_empty() {
+            self.propagate_resync(view, scope, displaced);
+        }
+    }
+
+    fn finish_rejected(&mut self, viewer: NodeId, background: bool) {
+        self.metrics.rejected_viewers.incr();
+        let leases: Vec<_> = {
+            let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+            v.out_degrees.clear();
+            let mut stale = v.pending_leases.drain_all();
+            debug_assert!(stale.is_empty(), "undo left pending leases behind");
+            if background {
+                // Keep watching via the temporary CDN serves: convert them
+                // into plain CDN subscriptions.
+            } else {
+                v.status = ViewerStatus::Rejected;
+                v.view = None;
+                stale.extend(v.temp_leases.drain_all());
+            }
+            stale
+        };
+        for (_, lease) in leases {
+            self.cdn.release(lease);
+        }
+        if background {
+            let delta = self.scheme.delta();
+            let temp: Vec<(StreamId, telecast_cdn::CdnLease)> = {
+                let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+                v.temp_leases.drain_all()
+            };
+            let mut accepted = 0u64;
+            let mut overflow: Vec<telecast_cdn::CdnLease> = Vec::new();
+            {
+                let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+                for (sid, lease) in temp {
+                    let bw = self.stream_bw[&sid];
+                    // The converted serve must hold a real inbound
+                    // reservation like any other subscription.
+                    if v.ports.inbound.reserve(bw).is_err() {
+                        overflow.push(lease);
+                        continue;
+                    }
+                    v.subs.insert(
+                        sid,
+                        StreamSub {
+                            parent: TreeParent::Cdn,
+                            lease: Some(lease),
+                            base_e2e: delta,
+                            e2e: delta,
+                            layer: 0,
+                            pushed_down: false,
+                            bitrate_kbps: bw.as_kbps(),
+                        },
+                    );
+                    accepted += 1;
+                }
+            }
+            for lease in overflow {
+                self.cdn.release(lease);
+            }
+            self.metrics.accepted_streams.add(accepted);
+        }
+    }
+
+    /// Places one stream; returns `(parent, displaced_member)` or `None`
+    /// if the stream cannot be served.
+    #[allow(clippy::too_many_arguments)]
+    fn place_stream(
+        &mut self,
+        viewer: NodeId,
+        view: ViewId,
+        scope: usize,
+        region: Region,
+        stream: StreamId,
+        bw: Bandwidth,
+        out_degree: u32,
+        outbound_capacity: Bandwidth,
+    ) -> Option<(TreeParent, Option<NodeId>)> {
+        match self.config.placement {
+            PlacementStrategy::PushDown => {
+                let tree = self.scopes[scope]
+                    .group_mut(view)
+                    .expect("group created")
+                    .tree_mut(stream)
+                    .expect("tree covers view stream");
+                if let Some(parent) = tree.insert(viewer, out_degree, outbound_capacity) {
+                    let displaced = tree.children_of(viewer).next();
+                    Some((parent, displaced))
+                } else {
+                    // Fall back to the CDN.
+                    match self.cdn.serve(stream, bw, region) {
+                        Ok(lease) => {
+                            let tree = self.scopes[scope]
+                                .group_mut(view)
+                                .expect("group created")
+                                .tree_mut(stream)
+                                .expect("tree exists");
+                            tree.attach_to_cdn(viewer, out_degree, outbound_capacity);
+                            self.viewers
+                                .get_mut(&viewer)
+                                .expect("viewer exists")
+                                .stash_cdn_lease(stream, lease);
+                            Some((TreeParent::Cdn, None))
+                        }
+                        Err(_) => None,
+                    }
+                }
+            }
+            PlacementStrategy::Fifo => {
+                let tree = self.scopes[scope]
+                    .group_mut(view)
+                    .expect("group created")
+                    .tree_mut(stream)
+                    .expect("tree covers view stream");
+                if let Some(parent) = tree.first_free_slot_holder() {
+                    tree.attach_under(viewer, out_degree, outbound_capacity, parent);
+                    Some((TreeParent::Viewer(parent), None))
+                } else {
+                    match self.cdn.serve(stream, bw, region) {
+                        Ok(lease) => {
+                            let tree = self.scopes[scope]
+                                .group_mut(view)
+                                .expect("group created")
+                                .tree_mut(stream)
+                                .expect("tree exists");
+                            tree.attach_to_cdn(viewer, out_degree, outbound_capacity);
+                            self.viewers
+                                .get_mut(&viewer)
+                                .expect("viewer exists")
+                                .stash_cdn_lease(stream, lease);
+                            Some((TreeParent::Cdn, None))
+                        }
+                        Err(_) => None,
+                    }
+                }
+            }
+            PlacementStrategy::Random { probes } => {
+                // "A joining node is randomly attached to another node,
+                // which can serve the request": sample uniformly from the
+                // whole session (no view grouping, no directory of who
+                // carries what); a probe succeeds only if the sampled
+                // node receives the stream and has spare upload. No
+                // pre-allocation — capacity is taken from the parent's
+                // port on demand.
+                let mut parent_found: Option<NodeId> = None;
+                if !self.viewer_pool.is_empty() {
+                    for _ in 0..probes {
+                        let idx = self.rng.range(0..self.viewer_pool.len());
+                        let cand = self.viewer_pool[idx];
+                        if cand == viewer {
+                            continue;
+                        }
+                        let ok = self
+                            .viewers
+                            .get(&cand)
+                            .map(|c| {
+                                c.status == ViewerStatus::Connected
+                                    && c.subs.contains_key(&stream)
+                                    && c.ports.outbound.can_reserve(bw)
+                            })
+                            .unwrap_or(false);
+                        if ok {
+                            parent_found = Some(cand);
+                            break;
+                        }
+                    }
+                }
+                if let Some(parent) = parent_found {
+                    self.viewers
+                        .get_mut(&parent)
+                        .expect("candidate exists")
+                        .ports
+                        .outbound
+                        .reserve(bw)
+                        .expect("checked above");
+                    self.random_edge_parent.insert((viewer, stream), parent);
+                    let tree = self
+                        .random_trees
+                        .entry(stream)
+                        .or_insert_with(|| StreamTree::new(stream));
+                    if !tree.contains(parent) {
+                        // The parent itself is CDN-served outside any
+                        // tree bookkeeping (e.g. served before the tree
+                        // existed); register it as a CDN child.
+                        tree.attach_to_cdn(parent, u32::MAX, outbound_capacity);
+                    }
+                    tree.attach_under(viewer, u32::MAX, outbound_capacity, parent);
+                    Some((TreeParent::Viewer(parent), None))
+                } else {
+                    match self.cdn.serve(stream, bw, region) {
+                        Ok(lease) => {
+                            let tree = self
+                                .random_trees
+                                .entry(stream)
+                                .or_insert_with(|| StreamTree::new(stream));
+                            tree.attach_to_cdn(viewer, u32::MAX, outbound_capacity);
+                            self.viewers
+                                .get_mut(&viewer)
+                                .expect("viewer exists")
+                                .stash_cdn_lease(stream, lease);
+                            Some((TreeParent::Cdn, None))
+                        }
+                        Err(_) => None,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Undoes a placement made earlier in the same join (the viewer has
+    /// no children yet in that tree).
+    fn undo_placement(
+        &mut self,
+        viewer: NodeId,
+        view: ViewId,
+        scope: usize,
+        stream: StreamId,
+        parent: TreeParent,
+    ) {
+        let is_random = matches!(self.config.placement, PlacementStrategy::Random { .. });
+        if is_random {
+            if let Some(tree) = self.random_trees.get_mut(&stream) {
+                if tree.contains(viewer) {
+                    let victims = tree.remove(viewer);
+                    debug_assert!(victims.is_empty(), "fresh placement has no children");
+                }
+            }
+            if let Some(p) = self.random_edge_parent.remove(&(viewer, stream)) {
+                let bw = self.stream_bw[&stream];
+                self.viewers
+                    .get_mut(&p)
+                    .expect("parent exists")
+                    .ports
+                    .outbound
+                    .release(bw);
+            }
+        } else if let Some(tree) = self.scopes[scope]
+            .group_mut(view)
+            .and_then(|g| g.tree_mut(stream))
+        {
+            if tree.contains(viewer) {
+                let victims = tree.remove(viewer);
+                // A push-down insert may have displaced a member under us;
+                // removal re-roots it at the CDN, which needs a lease or a
+                // reposition — recover it like any victim.
+                if !victims.is_empty() {
+                    self.recover_victims(stream, view, scope, victims);
+                }
+            }
+        }
+        if parent == TreeParent::Cdn {
+            if let Some(lease) = self
+                .viewers
+                .get_mut(&viewer)
+                .expect("viewer exists")
+                .temp_cdn_lease_take(stream)
+            {
+                self.cdn.release(lease);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // View change (§VI)
+    // ------------------------------------------------------------------
+
+    fn process_view_change(&mut self, viewer: NodeId, view: ViewId, requested_at: SimTime) {
+        let state = match self.viewers.get(&viewer) {
+            Some(v) if v.status == ViewerStatus::Connected => v,
+            _ => return,
+        };
+        let region = state.region;
+
+        // Fast path: serve every stream of the new view straight from the
+        // CDN (temporary leases).
+        let new_streams: Vec<(StreamId, Bandwidth)> = self
+            .catalog
+            .view(view)
+            .streams_by_priority()
+            .iter()
+            .map(|s| (s.stream, Bandwidth::from_kbps(s.bitrate_kbps)))
+            .collect();
+        for (sid, bw) in &new_streams {
+            if let Ok(lease) = self.cdn.serve(*sid, *bw, region) {
+                self.viewers
+                    .get_mut(&viewer)
+                    .expect("viewer exists")
+                    .temp_leases
+                    .insert(*sid, lease);
+            }
+        }
+
+        // Leave the old view's trees (creating victims), release old
+        // resources.
+        self.teardown_subscriptions(viewer);
+        {
+            let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+            v.view = Some(view);
+        }
+
+        // The view change is "satisfied" once the CDN edge starts feeding
+        // the viewer: LSC→edge plus edge→viewer legs.
+        let edge = self.edge_nodes[&region];
+        let lsc = self.lsc_nodes[&region];
+        let serve_legs = self.leg(lsc, edge) + self.leg(edge, viewer);
+        let delay = (self.engine.now() + serve_legs) - requested_at;
+        self.metrics
+            .view_change_delays_ms
+            .record(delay.as_micros() as f64 / 1_000.0);
+
+        // Background: the normal join into the new group.
+        let backoff = self.config.lsc_processing + self.leg(lsc, viewer);
+        self.engine
+            .schedule_after(serve_legs + backoff, SessionEvent::BackgroundJoin { viewer, view });
+    }
+
+    // ------------------------------------------------------------------
+    // Departure / failure
+    // ------------------------------------------------------------------
+
+    fn process_depart(&mut self, viewer: NodeId) {
+        let state = match self.viewers.get(&viewer) {
+            Some(v) if v.status == ViewerStatus::Connected => v,
+            _ => return,
+        };
+        let _ = state;
+        self.teardown_subscriptions(viewer);
+        let leases: Vec<_> = {
+            let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+            v.status = ViewerStatus::Idle;
+            v.view = None;
+            v.temp_leases.drain_all()
+        };
+        for (_, lease) in leases {
+            self.cdn.release(lease);
+        }
+    }
+
+    /// Releases every subscription of `viewer`: tree membership (victims
+    /// recovered), CDN leases, port reservations, routing entries.
+    fn teardown_subscriptions(&mut self, viewer: NodeId) {
+        let (region, subs): (Region, Vec<(StreamId, StreamSub)>) = {
+            let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+            let subs = std::mem::take(&mut v.subs).into_iter().collect();
+            (v.region, subs)
+        };
+        let view = self.viewers[&viewer].view;
+        let scope = self.scope_of(region);
+        let is_random = matches!(self.config.placement, PlacementStrategy::Random { .. });
+
+        let mut inbound_release = Bandwidth::ZERO;
+        for (sid, sub) in subs {
+            inbound_release += Bandwidth::from_kbps(sub.bitrate_kbps);
+            if let Some(lease) = sub.lease {
+                self.cdn.release(lease);
+            }
+            if is_random {
+                if let Some(tree) = self.random_trees.get_mut(&sid) {
+                    if tree.contains(viewer) {
+                        let victims = tree.remove(viewer);
+                        self.recover_random_victims(sid, victims);
+                    }
+                }
+                if let Some(p) = self.random_edge_parent.remove(&(viewer, sid)) {
+                    let bw = self.stream_bw[&sid];
+                    if let Some(pv) = self.viewers.get_mut(&p) {
+                        pv.ports.outbound.release(bw);
+                    }
+                }
+                if let Some(list) = self.random_receivers.get_mut(&sid) {
+                    if let Some(pos) = list.iter().position(|&n| n == viewer) {
+                        list.swap_remove(pos);
+                    }
+                }
+            } else if let Some(v) = view {
+                if let Some(tree) = self.scopes[scope].group_mut(v).and_then(|g| g.tree_mut(sid)) {
+                    if tree.contains(viewer) {
+                        let victims = tree.remove(viewer);
+                        self.recover_victims(sid, v, scope, victims);
+                    }
+                }
+            }
+        }
+        {
+            let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+            if !inbound_release.is_zero() {
+                v.ports.inbound.release(inbound_release);
+            }
+            if !is_random {
+                let used = v.ports.outbound.used();
+                if !used.is_zero() {
+                    v.ports.outbound.release(used);
+                }
+            }
+            v.out_degrees.clear();
+            v.routing = telecast_overlay::SessionRoutingTable::new();
+        }
+        if let Some(v) = view {
+            if !is_random {
+                if let Some(group) = self.scopes[scope].group_mut(v) {
+                    group.remove_member(viewer);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Victim recovery (§VI)
+    // ------------------------------------------------------------------
+
+    /// Recovers victims of a removal in a grouped (push-down/FIFO) tree:
+    /// each is already parked at the CDN root by `StreamTree::remove`;
+    /// give it a CDN lease at its current delay layer if the pool allows,
+    /// otherwise reposition immediately; failing both, drop the stream.
+    fn recover_victims(&mut self, stream: StreamId, view: ViewId, scope: usize, victims: Vec<NodeId>) {
+        let bw = self.stream_bw[&stream];
+        for victim in victims {
+            self.metrics.victims.incr();
+            let region = self.viewers[&victim].region;
+            match self.cdn.serve(stream, bw, region) {
+                Ok(lease) => {
+                    if let Some(sub) = self
+                        .viewers
+                        .get_mut(&victim)
+                        .expect("victim exists")
+                        .subs
+                        .get_mut(&stream)
+                    {
+                        sub.parent = TreeParent::Cdn;
+                        sub.lease = Some(lease);
+                        // Served "at the current delay layer": e2e/layer
+                        // stay as they were (the CDN cache reaches them).
+                    } else {
+                        // Victim no longer subscribes (raced teardown).
+                        self.cdn.release(lease);
+                        continue;
+                    }
+                    // Background reposition through the LSC.
+                    let legs = self.config.lsc_processing
+                        + self.leg(self.lsc_nodes[&region], victim);
+                    self.engine.schedule_after(
+                        legs,
+                        SessionEvent::RepositionVictim {
+                            viewer: victim,
+                            stream,
+                        },
+                    );
+                }
+                Err(_) => {
+                    // No CDN headroom: try an immediate reposition.
+                    let repositioned = self.scopes[scope]
+                        .group_mut(view)
+                        .and_then(|g| g.tree_mut(stream))
+                        .map(|t| t.reposition_from_cdn(victim))
+                        .unwrap_or(None);
+                    match repositioned {
+                        Some(parent) => {
+                            self.metrics.victims_repositioned.incr();
+                            self.after_reposition(victim, stream, view, scope, parent);
+                        }
+                        None => self.drop_stream(victim, stream, view, scope),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Victims in the Random baseline: CDN or drop (the scheme has no
+    /// reposition logic).
+    fn recover_random_victims(&mut self, stream: StreamId, victims: Vec<NodeId>) {
+        let bw = self.stream_bw[&stream];
+        for victim in victims {
+            self.metrics.victims.incr();
+            let region = self.viewers[&victim].region;
+            match self.cdn.serve(stream, bw, region) {
+                Ok(lease) => {
+                    if let Some(sub) = self
+                        .viewers
+                        .get_mut(&victim)
+                        .expect("victim exists")
+                        .subs
+                        .get_mut(&stream)
+                    {
+                        sub.parent = TreeParent::Cdn;
+                        sub.lease = Some(lease);
+                    } else {
+                        self.cdn.release(lease);
+                    }
+                }
+                Err(_) => {
+                    // Drop the stream for the victim.
+                    if let Some(tree) = self.random_trees.get_mut(&stream) {
+                        if tree.contains(victim) {
+                            let next = tree.remove(victim);
+                            let v = self.viewers.get_mut(&victim).expect("victim exists");
+                            if let Some(sub) = v.subs.remove(&stream) {
+                                v.ports
+                                    .inbound
+                                    .release(Bandwidth::from_kbps(sub.bitrate_kbps));
+                            }
+                            if let Some(list) = self.random_receivers.get_mut(&stream) {
+                                if let Some(pos) = list.iter().position(|&n| n == victim) {
+                                    list.swap_remove(pos);
+                                }
+                            }
+                            self.recover_random_victims(stream, next);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Background reposition of a CDN-parked victim (the second half of
+    /// the §VI recovery).
+    fn reposition_victim(&mut self, viewer: NodeId, stream: StreamId) {
+        let (view, region) = match self.viewers.get(&viewer) {
+            Some(v) if v.status == ViewerStatus::Connected => match v.view {
+                Some(view) => (view, v.region),
+                None => return,
+            },
+            _ => return,
+        };
+        // Only meaningful while still CDN-parented for this stream.
+        let still_cdn = self.viewers[&viewer]
+            .subs
+            .get(&stream)
+            .map(|s| s.parent == TreeParent::Cdn)
+            .unwrap_or(false);
+        if !still_cdn {
+            return;
+        }
+        let scope = self.scope_of(region);
+        let repositioned = self.scopes[scope]
+            .group_mut(view)
+            .and_then(|g| g.tree_mut(stream))
+            .filter(|t| t.parent_of(viewer) == Some(TreeParent::Cdn))
+            .map(|t| t.reposition_from_cdn(viewer))
+            .unwrap_or(None);
+        if let Some(parent) = repositioned {
+            if let TreeParent::Viewer(_) = parent {
+                // Off the CDN: release the lease.
+                if let Some(lease) = self
+                    .viewers
+                    .get_mut(&viewer)
+                    .expect("viewer exists")
+                    .subs
+                    .get_mut(&stream)
+                    .and_then(|s| s.lease.take())
+                {
+                    self.cdn.release(lease);
+                }
+            }
+            self.metrics.victims_repositioned.incr();
+            self.after_reposition(viewer, stream, view, scope, parent);
+        }
+    }
+
+    /// Fixes state after a reposition: new delays for the moved viewer
+    /// and its subtree, plus lease handling for a displaced CDN child.
+    fn after_reposition(
+        &mut self,
+        viewer: NodeId,
+        stream: StreamId,
+        view: ViewId,
+        scope: usize,
+        parent: TreeParent,
+    ) {
+        // A displaced node (now our child) may have been CDN-served; its
+        // lease becomes spare.
+        let displaced: Vec<NodeId> = self.scopes[scope]
+            .group(view)
+            .and_then(|g| g.tree(stream))
+            .map(|t| t.children_of(viewer).collect())
+            .unwrap_or_default();
+        let mut spare_leases: Vec<telecast_cdn::CdnLease> = Vec::new();
+        for d in displaced {
+            let lease = self
+                .viewers
+                .get_mut(&d)
+                .and_then(|v| v.subs.get_mut(&stream))
+                .and_then(|s| {
+                    if s.parent == TreeParent::Cdn {
+                        s.parent = TreeParent::Viewer(viewer);
+                        s.lease.take()
+                    } else {
+                        None
+                    }
+                });
+            spare_leases.extend(lease);
+        }
+        {
+            let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+            if let Some(sub) = v.subs.get_mut(&stream) {
+                sub.parent = parent;
+                // Taking a CDN slot (by displacing its holder) requires a
+                // lease; inherit the displaced child's.
+                if parent == TreeParent::Cdn && sub.lease.is_none() {
+                    sub.lease = spare_leases.pop();
+                }
+            }
+        }
+        for lease in spare_leases {
+            self.cdn.release(lease);
+        }
+        // The inherited lease may still be missing (displaced child was
+        // itself mid-recovery): serve from the pool or give the stream up.
+        let needs_lease = {
+            let v = &self.viewers[&viewer];
+            v.subs
+                .get(&stream)
+                .map(|s| s.parent == TreeParent::Cdn && s.lease.is_none())
+                .unwrap_or(false)
+        };
+        if needs_lease {
+            let bw = self.stream_bw[&stream];
+            let region = self.viewers[&viewer].region;
+            match self.cdn.serve(stream, bw, region) {
+                Ok(lease) => {
+                    self.viewers
+                        .get_mut(&viewer)
+                        .expect("viewer exists")
+                        .subs
+                        .get_mut(&stream)
+                        .expect("sub exists")
+                        .lease = Some(lease);
+                }
+                Err(_) => {
+                    self.drop_stream(viewer, stream, view, scope);
+                    return;
+                }
+            }
+        }
+        self.propagate_resync(view, scope, vec![viewer]);
+    }
+
+    /// Drops `stream` at `viewer` entirely (layer violation or failed
+    /// recovery), cascading victim recovery to its children.
+    fn drop_stream(&mut self, viewer: NodeId, stream: StreamId, view: ViewId, scope: usize) {
+        let victims = self.scopes[scope]
+            .group_mut(view)
+            .and_then(|g| g.tree_mut(stream))
+            .map(|t| if t.contains(viewer) { t.remove(viewer) } else { Vec::new() })
+            .unwrap_or_default();
+        let lease = {
+            let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+            match v.subs.remove(&stream) {
+                Some(sub) => {
+                    v.ports
+                        .inbound
+                        .release(Bandwidth::from_kbps(sub.bitrate_kbps));
+                    sub.lease
+                }
+                None => None,
+            }
+        };
+        if let Some(lease) = lease {
+            self.cdn.release(lease);
+        }
+        self.metrics.layer_drops.incr();
+        if !victims.is_empty() {
+            self.recover_victims(stream, view, scope, victims);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Subscription chains (§V-B3)
+    // ------------------------------------------------------------------
+
+    /// Recomputes delays and layers for the seed viewers and propagates
+    /// along the affected subtrees until quiescent.
+    fn propagate_resync(&mut self, view: ViewId, scope: usize, seeds: Vec<NodeId>) {
+        let mut queue: std::collections::VecDeque<NodeId> = seeds.into_iter().collect();
+        let mut visits: HashMap<NodeId, usize> = HashMap::new();
+        while let Some(w) = queue.pop_front() {
+            let count = visits.entry(w).or_insert(0);
+            *count += 1;
+            if *count > RESYNC_VISIT_CAP {
+                self.metrics.resync_cap_hits.incr();
+                continue;
+            }
+            let changed_streams = self.resync_viewer(w, view, scope);
+            if changed_streams.is_empty() {
+                continue;
+            }
+            self.metrics
+                .subscription_messages
+                .add(changed_streams.len() as u64);
+            for sid in &changed_streams {
+                let children: Vec<NodeId> = self.scopes[scope]
+                    .group(view)
+                    .and_then(|g| g.tree(*sid))
+                    .map(|t| t.children_of(w).collect())
+                    .unwrap_or_default();
+                queue.extend(children);
+            }
+            // A change (e.g. a §VI CDN reroute) shifts this viewer's own
+            // push-down baseline: revisit once more to reach a fixpoint.
+            queue.push_back(w);
+        }
+    }
+
+    /// Recomputes one viewer's delay layers from the trees' current
+    /// structure (the source of truth for parents — a displacement may
+    /// have changed them); returns the streams whose effective delay
+    /// changed.
+    fn resync_viewer(&mut self, viewer: NodeId, view: ViewId, scope: usize) -> Vec<StreamId> {
+        let Some(state) = self.viewers.get(&viewer) else {
+            return Vec::new();
+        };
+        if state.status != ViewerStatus::Connected || state.view != Some(view) {
+            return Vec::new();
+        }
+        // Pass 1: read current parents from the trees, recompute base
+        // delays (CDN-parented streams keep their stored delay — victims
+        // stay at their layer).
+        let mut plan: Vec<(StreamId, TreeParent, SimDuration, u64)> = Vec::new();
+        for (&sid, sub) in &state.subs {
+            let tree_parent = self.scopes[scope]
+                .group(view)
+                .and_then(|g| g.tree(sid))
+                .and_then(|t| t.parent_of(viewer))
+                .unwrap_or(sub.parent);
+            let (base, parent) = match tree_parent {
+                TreeParent::Cdn => (sub.base_e2e, tree_parent),
+                TreeParent::Viewer(p) => {
+                    let pe2e = self
+                        .viewers
+                        .get(&p)
+                        .and_then(|pv| pv.subs.get(&sid))
+                        .map(|ps| ps.e2e)
+                        .unwrap_or(self.scheme.delta());
+                    let d = pe2e
+                        + self
+                            .delays
+                            .one_way(self.engine.now(), p, viewer)
+                        + self.config.hop_processing;
+                    (d, tree_parent)
+                }
+            };
+            plan.push((sid, parent, base, self.scheme.layer_of_delay(base)));
+        }
+        // Effective delays: layer push-down plus the residual delayed
+        // receive that makes the dbuff bound exact (see process_join).
+        let mut finals: Vec<(StreamId, TreeParent, SimDuration, u64, SimDuration, bool)> = plan
+            .iter()
+            .map(|&(sid, parent, base, layer)| (sid, parent, base, layer, base, false))
+            .collect();
+        if self.config.layering_enabled {
+            let mut layers: Vec<u64> = finals.iter().map(|&(_, _, _, l, _, _)| l).collect();
+            self.scheme.push_down(&mut layers);
+            for (entry, &l) in finals.iter_mut().zip(layers.iter()) {
+                let natural = self.scheme.layer_of_delay(entry.2);
+                entry.3 = l;
+                entry.5 = l > natural;
+                entry.4 = if entry.5 {
+                    self.scheme.delay_at_top_of(l)
+                } else {
+                    entry.2
+                };
+            }
+            if let Some(deepest) = finals.iter().map(|&(_, _, _, _, e, _)| e).max() {
+                for entry in finals.iter_mut() {
+                    if deepest - entry.4 > self.config.dbuff {
+                        entry.4 = deepest - self.config.dbuff;
+                        entry.3 = self.scheme.layer_of_delay(entry.4);
+                        entry.5 = true;
+                    }
+                }
+            }
+        }
+
+        // Pass 2: apply; collect changes, stale leases, §VI CDN reroutes
+        // for over-limit streams, and drops when the pool is full too.
+        let mut changed = Vec::new();
+        let mut drops = Vec::new();
+        let mut reroutes: Vec<StreamId> = Vec::new();
+        let mut stale_leases = Vec::new();
+        {
+            let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+            for (sid, parent, base, layer, e2e, pushed) in finals {
+                let max_layer = self.scheme.max_layer();
+                if self.config.layering_enabled && layer > max_layer {
+                    if matches!(parent, TreeParent::Viewer(_)) {
+                        reroutes.push(sid);
+                    } else {
+                        drops.push(sid);
+                    }
+                    continue;
+                }
+                let sub = v.subs.get_mut(&sid).expect("planned sub exists");
+                if sub.parent != parent {
+                    // Displaced off the CDN root into a viewer's slot: the
+                    // lease is no longer needed.
+                    if let (TreeParent::Viewer(_), Some(lease)) = (parent, sub.lease.take()) {
+                        stale_leases.push(lease);
+                    }
+                    sub.parent = parent;
+                }
+                if sub.e2e != e2e || sub.layer != layer {
+                    changed.push(sid);
+                }
+                sub.base_e2e = base;
+                sub.e2e = e2e;
+                sub.layer = layer;
+                sub.pushed_down = pushed;
+            }
+        }
+        for lease in stale_leases {
+            self.cdn.release(lease);
+        }
+        // §VI: "if the parent is another viewer, then LSC first tries to
+        // provision the stream from the CDN" — only drop when the pool is
+        // exhausted too.
+        for sid in reroutes {
+            let bw = self.stream_bw[&sid];
+            let region = self.viewers[&viewer].region;
+            match self.cdn.serve(sid, bw, region) {
+                Ok(lease) => {
+                    if let Some(tree) = self.scopes[scope]
+                        .group_mut(view)
+                        .and_then(|g| g.tree_mut(sid))
+                    {
+                        if tree.contains(viewer) {
+                            tree.reparent_to_cdn(viewer);
+                        }
+                    }
+                    let delta = self.scheme.delta();
+                    let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+                    let sub = v.subs.get_mut(&sid).expect("sub exists");
+                    sub.parent = TreeParent::Cdn;
+                    sub.lease = Some(lease);
+                    sub.base_e2e = delta;
+                    sub.e2e = delta;
+                    sub.layer = 0;
+                    sub.pushed_down = false;
+                    changed.push(sid);
+                }
+                Err(_) => drops.push(sid),
+            }
+        }
+        for sid in drops {
+            self.drop_stream(viewer, sid, view, scope);
+        }
+        changed
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn check_view(&self, view: ViewId) -> Result<(), TelecastError> {
+        if view.index() < self.catalog.len() {
+            Ok(())
+        } else {
+            Err(TelecastError::UnknownView(view))
+        }
+    }
+
+    fn scope_of(&self, region: Region) -> usize {
+        match self.config.group_scope {
+            GroupScope::PerLsc => region.index(),
+            GroupScope::Global => 0,
+        }
+    }
+
+    fn leg(&self, a: NodeId, b: NodeId) -> SimDuration {
+        self.delays.one_way(self.engine.now(), a, b)
+    }
+
+    /// End-to-end delay of `stream` at `viewer` through `parent`.
+    fn path_delay(&self, viewer: NodeId, stream: StreamId, parent: TreeParent) -> SimDuration {
+        match parent {
+            TreeParent::Cdn => self.scheme.delta(),
+            TreeParent::Viewer(p) => {
+                let pe2e = self
+                    .viewers
+                    .get(&p)
+                    .and_then(|pv| pv.subs.get(&stream))
+                    .map(|ps| ps.e2e)
+                    .unwrap_or(self.scheme.delta());
+                pe2e + self.leg(p, viewer) + self.config.hop_processing
+            }
+        }
+    }
+
+    /// The node id representing `viewer`'s upstream for `stream` in its
+    /// routing table match field (the CDN edge node for CDN parents).
+    fn upstream_node_of(&self, viewer: NodeId, stream: StreamId) -> NodeId {
+        let state = &self.viewers[&viewer];
+        match state.subs.get(&stream).map(|s| s.parent) {
+            Some(TreeParent::Viewer(p)) => p,
+            _ => self.edge_nodes[&state.region],
+        }
+    }
+
+    /// Eq. 2 subscription point for `viewer`'s current layer on `stream`.
+    fn subscription_frame_for(&self, viewer: NodeId, stream: StreamId) -> FrameNumber {
+        let state = &self.viewers[&viewer];
+        let sub = &state.subs[&stream];
+        let fps = self.stream_fps[&stream];
+        let latest = self
+            .monitor
+            .latest_frame(stream, self.engine.now())
+            .expect("subscribed streams are monitored");
+        let (dprop, processing) = match sub.parent {
+            TreeParent::Viewer(p) => (
+                self.delays.one_way(self.engine.now(), p, viewer),
+                self.config.hop_processing,
+            ),
+            TreeParent::Cdn => (SimDuration::ZERO, SimDuration::ZERO),
+        };
+        self.scheme
+            .subscription_frame(latest, fps, sub.layer, dprop, processing)
+    }
+}
+
+// Small private conveniences on ViewerState used only by the session.
+impl ViewerState {
+    fn stash_cdn_lease(&mut self, stream: StreamId, lease: telecast_cdn::CdnLease) {
+        let previous = self.pending_leases.insert(stream, lease);
+        debug_assert!(previous.is_none(), "pending lease overwritten");
+    }
+
+    fn temp_cdn_lease_take(&mut self, stream: StreamId) -> Option<telecast_cdn::CdnLease> {
+        self.pending_leases.remove(&stream)
+    }
+}
+
+trait DrainAll {
+    type Item;
+    fn drain_all(&mut self) -> Vec<Self::Item>;
+}
+
+impl<K: Ord + Copy, V> DrainAll for BTreeMap<K, V> {
+    type Item = (K, V);
+    fn drain_all(&mut self) -> Vec<(K, V)> {
+        std::mem::take(self).into_iter().collect()
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-viewer session state.
+
+use std::collections::BTreeMap;
+
+use telecast_cdn::CdnLease;
+use telecast_media::{StreamId, ViewId};
+use telecast_net::{NodeId, NodePorts, Region};
+use telecast_overlay::{SessionRoutingTable, TreeParent};
+use telecast_sim::SimDuration;
+
+/// Lifecycle of a viewer within the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewerStatus {
+    /// Registered but never joined (or departed).
+    Idle,
+    /// Join request in flight.
+    Joining,
+    /// Connected and receiving streams.
+    Connected,
+    /// Join was rejected by admission control.
+    Rejected,
+}
+
+/// One accepted stream at a viewer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSub {
+    /// Current upstream.
+    pub parent: TreeParent,
+    /// Active CDN lease when `parent` is the CDN.
+    pub lease: Option<CdnLease>,
+    /// End-to-end delay along the overlay path, before delayed receive.
+    pub base_e2e: SimDuration,
+    /// Effective end-to-end delay after layer positioning (≥ `base_e2e`).
+    pub e2e: SimDuration,
+    /// Delay layer index (Eq. 1, possibly raised by layer push-down).
+    pub layer: u64,
+    /// Whether layer push-down moved this stream off its natural layer.
+    pub pushed_down: bool,
+    /// The stream's bitrate in Kbps (cached for release accounting).
+    pub bitrate_kbps: u64,
+}
+
+/// All session state of one viewer gateway.
+#[derive(Debug, Clone)]
+pub struct ViewerState {
+    /// Network identity.
+    pub node: NodeId,
+    /// Geographic region (decides the LSC and the CDN edge).
+    pub region: Region,
+    /// Inbound/outbound port accounts.
+    pub ports: NodePorts,
+    /// Lifecycle status.
+    pub status: ViewerStatus,
+    /// Currently requested view, when connected.
+    pub view: Option<ViewId>,
+    /// Accepted stream subscriptions.
+    pub subs: BTreeMap<StreamId, StreamSub>,
+    /// Out-degree granted per stream by the outbound allocation.
+    pub out_degrees: BTreeMap<StreamId, u32>,
+    /// Temporary direct-CDN serves installed by the fast view-change path,
+    /// released once the background join lands.
+    pub temp_leases: BTreeMap<StreamId, CdnLease>,
+    /// CDN leases acquired mid-placement, moved into [`StreamSub::lease`]
+    /// when the join commits (or released on rollback).
+    pub pending_leases: BTreeMap<StreamId, CdnLease>,
+    /// The viewer's data-plane routing table (Table I).
+    pub routing: SessionRoutingTable,
+}
+
+impl ViewerState {
+    /// Creates an idle viewer.
+    pub fn new(node: NodeId, region: Region, ports: NodePorts) -> Self {
+        ViewerState {
+            node,
+            region,
+            ports,
+            status: ViewerStatus::Idle,
+            view: None,
+            subs: BTreeMap::new(),
+            out_degrees: BTreeMap::new(),
+            temp_leases: BTreeMap::new(),
+            pending_leases: BTreeMap::new(),
+            routing: SessionRoutingTable::new(),
+        }
+    }
+
+    /// Number of streams currently received (excluding temporary
+    /// view-change serves).
+    pub fn stream_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// The layer indexes of all subscribed streams.
+    pub fn layers(&self) -> impl Iterator<Item = u64> + '_ {
+        self.subs.values().map(|s| s.layer)
+    }
+
+    /// The deepest (maximum) layer across subscriptions, if any.
+    pub fn max_layer(&self) -> Option<u64> {
+        self.layers().max()
+    }
+
+    /// Whether the viewer currently has any stream served by the CDN
+    /// (including temporary view-change serves).
+    pub fn uses_cdn(&self) -> bool {
+        !self.temp_leases.is_empty()
+            || self.subs.values().any(|s| s.parent == TreeParent::Cdn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telecast_net::{Bandwidth, NodeKind, NodeRegistry};
+
+    fn viewer() -> ViewerState {
+        let mut reg = NodeRegistry::new();
+        let id = reg.add(NodeKind::Viewer, Region::Asia);
+        ViewerState::new(
+            id,
+            Region::Asia,
+            NodePorts::new(Bandwidth::from_mbps(12), Bandwidth::from_mbps(6)),
+        )
+    }
+
+    #[test]
+    fn fresh_viewer_is_idle_and_empty() {
+        let v = viewer();
+        assert_eq!(v.status, ViewerStatus::Idle);
+        assert_eq!(v.stream_count(), 0);
+        assert_eq!(v.max_layer(), None);
+        assert!(!v.uses_cdn());
+        assert!(v.routing.is_empty());
+    }
+
+    #[test]
+    fn layer_accessors_reflect_subs() {
+        use telecast_media::SiteId;
+        let mut v = viewer();
+        for (c, layer) in [(0u16, 2u64), (1, 5)] {
+            v.subs.insert(
+                StreamId::new(SiteId::new(0), c),
+                StreamSub {
+                    parent: TreeParent::Cdn,
+                    lease: None,
+                    base_e2e: SimDuration::from_secs(60),
+                    e2e: SimDuration::from_secs(60),
+                    layer,
+                    pushed_down: false,
+                    bitrate_kbps: 2_000,
+                },
+            );
+        }
+        assert_eq!(v.stream_count(), 2);
+        assert_eq!(v.max_layer(), Some(5));
+        assert!(v.uses_cdn());
+    }
+}

@@ -1,0 +1,417 @@
+//! Behavioural tests of the full session: admission, overlay shape,
+//! synchronization bounds, view changes, departures and victim recovery.
+
+use telecast::{
+    GroupScope, OutboundPolicy, PlacementStrategy, SessionConfig, TelecastSession, ViewerStatus,
+};
+use telecast_cdn::CdnConfig;
+use telecast_media::{ArrivalModel, ViewChoice, ViewId, ViewerWorkload};
+use telecast_net::{Bandwidth, BandwidthProfile};
+use telecast_overlay::TreeParent;
+use telecast_sim::{SimDuration, SimRng};
+
+fn small_config() -> SessionConfig {
+    SessionConfig::default().with_seed(7)
+}
+
+fn join_all(session: &mut TelecastSession, view: ViewId) {
+    for v in session.viewer_ids().to_vec() {
+        session.request_join(v, view).expect("join accepted");
+    }
+    session.run_to_idle();
+}
+
+#[test]
+fn all_viewers_accepted_with_generous_bandwidth() {
+    let config = small_config().with_outbound(BandwidthProfile::fixed_mbps(10));
+    let mut session = TelecastSession::builder(config).viewers(40).build();
+    join_all(&mut session, ViewId::new(0));
+    assert_eq!(session.metrics().admitted_viewers.value(), 40);
+    assert_eq!(session.metrics().rejected_viewers.value(), 0);
+    assert!((session.metrics().acceptance_ratio() - 1.0).abs() < 1e-9);
+    // Every viewer got all 6 streams of the view.
+    for &v in session.viewer_ids() {
+        assert_eq!(session.viewer(v).unwrap().stream_count(), 6);
+    }
+}
+
+#[test]
+fn zero_outbound_makes_everything_cdn_served() {
+    let config = small_config().with_outbound(BandwidthProfile::fixed_mbps(0));
+    let mut session = TelecastSession::builder(config).viewers(30).build();
+    join_all(&mut session, ViewId::new(0));
+    // No P2P capacity at all: every accepted stream has a CDN parent.
+    assert!((session.cdn_stream_fraction() - 1.0).abs() < 1e-9);
+    // 30 viewers × 6 streams × 2 Mbps = 360 Mbps from the CDN.
+    assert_eq!(
+        session.cdn().outbound().used(),
+        Bandwidth::from_mbps(360)
+    );
+}
+
+#[test]
+fn capped_cdn_rejects_overflow_without_p2p() {
+    // CDN fits only 36 streams (72 Mbps / 2), i.e. 6 viewers.
+    let config = small_config()
+        .with_outbound(BandwidthProfile::fixed_mbps(0))
+        .with_cdn(CdnConfig::default().with_outbound(Bandwidth::from_mbps(72)));
+    let mut session = TelecastSession::builder(config).viewers(10).build();
+    join_all(&mut session, ViewId::new(0));
+    assert_eq!(session.metrics().admitted_viewers.value(), 6);
+    assert_eq!(session.metrics().rejected_viewers.value(), 4);
+    let expected = 36.0 / 60.0;
+    assert!((session.metrics().acceptance_ratio() - expected).abs() < 1e-9);
+    // Rejected viewers hold no resources.
+    let zero_stream_viewers = session
+        .streams_per_viewer()
+        .into_iter()
+        .filter(|&n| n == 0)
+        .count();
+    assert_eq!(zero_stream_viewers, 4);
+}
+
+#[test]
+fn p2p_contribution_reduces_cdn_load() {
+    let base = small_config().with_cdn(CdnConfig::unbounded());
+    let mut cdn_only = TelecastSession::builder(
+        base.clone().with_outbound(BandwidthProfile::fixed_mbps(0)),
+    )
+    .viewers(60)
+    .build();
+    join_all(&mut cdn_only, ViewId::new(0));
+
+    let mut hybrid = TelecastSession::builder(
+        base.with_outbound(BandwidthProfile::fixed_mbps(8)),
+    )
+    .viewers(60)
+    .build();
+    join_all(&mut hybrid, ViewId::new(0));
+
+    let cdn_only_mbps = cdn_only.cdn().outbound().used().as_mbps_f64();
+    let hybrid_mbps = hybrid.cdn().outbound().used().as_mbps_f64();
+    assert!(
+        hybrid_mbps < cdn_only_mbps / 2.0,
+        "8 Mbps of per-viewer upload should halve CDN load: {hybrid_mbps} vs {cdn_only_mbps}"
+    );
+    assert!((hybrid.metrics().acceptance_ratio() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn sync_bound_holds_for_every_connected_viewer() {
+    let config = small_config().with_outbound(BandwidthProfile::uniform_mbps(0, 12));
+    let mut session = TelecastSession::builder(config).viewers(80).build();
+    // Spread over several views.
+    let ids = session.viewer_ids().to_vec();
+    for (i, v) in ids.iter().enumerate() {
+        session
+            .request_join(*v, ViewId::new((i % 8) as u32))
+            .expect("valid request");
+    }
+    session.run_to_idle();
+    let kappa = session.scheme().kappa();
+    for &v in &ids {
+        let state = session.viewer(v).unwrap();
+        if state.status != ViewerStatus::Connected || state.subs.is_empty() {
+            continue;
+        }
+        let min = state.layers().min().unwrap();
+        let max = state.layers().max().unwrap();
+        assert!(
+            max - min <= kappa,
+            "viewer {v} violates the κ bound: layers {min}..{max}"
+        );
+        // Layer Property 2 ⇒ inter-stream effective delay ≤ dbuff.
+        let e2es: Vec<_> = state.subs.values().map(|s| s.e2e).collect();
+        let lo = e2es.iter().min().unwrap();
+        let hi = e2es.iter().max().unwrap();
+        assert!(
+            *hi - *lo <= session.config().dbuff,
+            "viewer {v} skew {:?} exceeds dbuff",
+            *hi - *lo
+        );
+    }
+    assert!((session.effective_bandwidth_ratio() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn no_layering_ablation_loses_effective_bandwidth() {
+    let mut config = small_config().with_outbound(BandwidthProfile::uniform_mbps(0, 12));
+    config.layering_enabled = false;
+    // Large per-hop processing makes deep trees drift far apart.
+    config.hop_processing = SimDuration::from_millis(200);
+    let mut session = TelecastSession::builder(config).viewers(120).build();
+    join_all(&mut session, ViewId::new(0));
+    let ratio = session.effective_bandwidth_ratio();
+    assert!(
+        ratio < 1.0,
+        "without layering some delivered bandwidth must be ineffective, got {ratio}"
+    );
+}
+
+#[test]
+fn join_delays_are_sub_second_scale() {
+    let config = small_config();
+    let mut session = TelecastSession::builder(config).viewers(50).build();
+    join_all(&mut session, ViewId::new(0));
+    let h = &session.metrics().join_delays_ms;
+    assert_eq!(h.len(), 50);
+    let summary = h.summary();
+    assert!(summary.min > 50.0, "join needs several network legs");
+    assert!(
+        summary.max < 3_000.0,
+        "join delay {0} ms out of the paper's range",
+        summary.max
+    );
+}
+
+#[test]
+fn view_change_is_faster_than_join_and_served_by_cdn() {
+    let config = small_config().with_outbound(BandwidthProfile::fixed_mbps(8));
+    let mut session = TelecastSession::builder(config).viewers(30).build();
+    join_all(&mut session, ViewId::new(0));
+    let ids = session.viewer_ids().to_vec();
+    for &v in ids.iter().take(10) {
+        session
+            .request_view_change(v, ViewId::new(1))
+            .expect("connected");
+    }
+    session.run_to_idle();
+    let vc = session.metrics().view_change_delays_ms.summary();
+    assert_eq!(vc.count, 10);
+    let join = session.metrics().join_delays_ms.summary();
+    assert!(
+        vc.mean < join.mean,
+        "view change ({} ms) should beat join ({} ms)",
+        vc.mean,
+        join.mean
+    );
+    // After settling, the switchers watch view 1.
+    for &v in ids.iter().take(10) {
+        let state = session.viewer(v).unwrap();
+        assert_eq!(state.view, Some(ViewId::new(1)));
+        assert_eq!(state.status, ViewerStatus::Connected);
+        assert!(state.temp_leases.is_empty(), "temp CDN serves released");
+        assert!(state.stream_count() > 0);
+    }
+}
+
+#[test]
+fn departures_recover_orphans() {
+    let config = small_config().with_outbound(BandwidthProfile::fixed_mbps(6));
+    let mut session = TelecastSession::builder(config).viewers(40).build();
+    join_all(&mut session, ViewId::new(0));
+    let ids = session.viewer_ids().to_vec();
+    // Remove the first half (joined first → nearer the roots → victims).
+    for &v in ids.iter().take(20) {
+        session.request_depart(v).expect("connected");
+    }
+    session.run_to_idle();
+    let mut still_serving = 0;
+    for &v in ids.iter().skip(20) {
+        let state = session.viewer(v).unwrap();
+        assert_eq!(state.status, ViewerStatus::Connected);
+        // Every remaining subscription has a live upstream (a connected
+        // parent or the CDN).
+        for (sid, sub) in &state.subs {
+            match sub.parent {
+                TreeParent::Cdn => {}
+                TreeParent::Viewer(p) => {
+                    let pstate = session.viewer(p).unwrap();
+                    assert_eq!(
+                        pstate.status,
+                        ViewerStatus::Connected,
+                        "stream {sid} of {v} is fed by departed {p}"
+                    );
+                }
+            }
+        }
+        still_serving += state.stream_count();
+    }
+    assert!(still_serving > 0);
+    assert!(session.metrics().victims.value() > 0, "departures orphaned someone");
+}
+
+#[test]
+fn abrupt_failure_behaves_like_departure() {
+    let config = small_config().with_outbound(BandwidthProfile::fixed_mbps(6));
+    let mut session = TelecastSession::builder(config).viewers(20).build();
+    join_all(&mut session, ViewId::new(0));
+    let ids = session.viewer_ids().to_vec();
+    session.fail_viewer(ids[0]).expect("connected");
+    session.run_to_idle();
+    assert_eq!(session.viewer(ids[0]).unwrap().status, ViewerStatus::Idle);
+    for &v in &ids[1..] {
+        for sub in session.viewer(v).unwrap().subs.values() {
+            if let TreeParent::Viewer(p) = sub.parent {
+                assert_ne!(p, ids[0], "failed viewer still feeds {v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn random_baseline_accepts_fewer_than_push_down() {
+    let cdn = CdnConfig::default().with_outbound(Bandwidth::from_mbps(150));
+    let build = |placement| {
+        let mut config = small_config()
+            .with_outbound(BandwidthProfile::uniform_mbps(2, 14))
+            .with_cdn(cdn);
+        config.placement = placement;
+        if matches!(placement, PlacementStrategy::Random { .. }) {
+            config.layering_enabled = false;
+        }
+        let mut session = TelecastSession::builder(config).viewers(200).build();
+        let mut rng = SimRng::seed_from_u64(3);
+        let wl = ViewerWorkload::builder(200, 8)
+            .arrivals(ArrivalModel::Staggered {
+                gap: SimDuration::from_millis(40),
+            })
+            .view_choice(ViewChoice::Zipf { s: 0.8 })
+            .build(&mut rng);
+        session.run_workload(&wl);
+        session.metrics().acceptance_ratio()
+    };
+    let telecast = build(PlacementStrategy::PushDown);
+    let random = build(PlacementStrategy::Random { probes: 1 });
+    assert!(
+        telecast > random,
+        "push-down ({telecast}) should beat random ({random})"
+    );
+}
+
+#[test]
+fn outbound_policies_trade_quality_for_share() {
+    // PriorityFirst concentrates slots on S1-trees; EqualSplit spreads.
+    let run = |policy| {
+        let mut config = small_config().with_outbound(BandwidthProfile::fixed_mbps(6));
+        config.outbound_policy = policy;
+        config.cdn = CdnConfig::default().with_outbound(Bandwidth::from_mbps(100));
+        let mut session = TelecastSession::builder(config).viewers(60).build();
+        join_all(&mut session, ViewId::new(0));
+        session.metrics().acceptance_ratio()
+    };
+    let rr = run(OutboundPolicy::RoundRobin);
+    let pf = run(OutboundPolicy::PriorityFirst);
+    // Round-robin must not be worse than priority-first overall.
+    assert!(
+        rr >= pf,
+        "round-robin ({rr}) should be at least as good as priority-first ({pf})"
+    );
+}
+
+#[test]
+fn global_scope_shares_more_than_per_lsc() {
+    let cdn = CdnConfig::unbounded();
+    let run = |scope| {
+        let mut config = small_config()
+            .with_outbound(BandwidthProfile::fixed_mbps(6))
+            .with_cdn(cdn);
+        config.group_scope = scope;
+        let mut session = TelecastSession::builder(config).viewers(100).build();
+        join_all(&mut session, ViewId::new(0));
+        session.cdn().outbound().used().as_mbps_f64()
+    };
+    let per_lsc = run(GroupScope::PerLsc);
+    let global = run(GroupScope::Global);
+    assert!(
+        global <= per_lsc,
+        "global grouping ({global}) should not need more CDN than per-LSC ({per_lsc})"
+    );
+}
+
+#[test]
+fn workload_runs_are_deterministic() {
+    let run = || {
+        let config = small_config().with_outbound(BandwidthProfile::uniform_mbps(0, 12));
+        let mut session = TelecastSession::builder(config).viewers(100).build();
+        let mut rng = SimRng::seed_from_u64(11);
+        let wl = ViewerWorkload::builder(100, 8)
+            .arrivals(ArrivalModel::Poisson {
+                mean_gap: SimDuration::from_millis(25),
+            })
+            .view_choice(ViewChoice::Zipf { s: 1.0 })
+            .view_changes(0.5, SimDuration::from_secs(20))
+            .departures(0.2, SimDuration::from_secs(40))
+            .build(&mut rng);
+        session.run_workload(&wl);
+        (
+            session.metrics().acceptance_ratio(),
+            session.metrics().admitted_viewers.value(),
+            session.cdn().outbound().used().as_kbps(),
+            session.metrics().victims.value(),
+            session.metrics().subscription_messages.value(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn random_mode_ports_are_conserved_under_churn() {
+    // In the Random baseline, parents' outbound is reserved per edge (no
+    // pre-allocation); arbitrary churn must never leave reservations
+    // behind once everyone departs.
+    let mut config = small_config().with_outbound(BandwidthProfile::uniform_mbps(2, 14));
+    config.placement = PlacementStrategy::Random { probes: 2 };
+    config.layering_enabled = false;
+    let mut session = TelecastSession::builder(config).viewers(80).build();
+    let mut rng = SimRng::seed_from_u64(4);
+    let wl = ViewerWorkload::builder(80, 8)
+        .arrivals(ArrivalModel::Staggered {
+            gap: SimDuration::from_millis(20),
+        })
+        .view_changes(1.0, SimDuration::from_secs(30))
+        .build(&mut rng);
+    session.run_workload(&wl);
+    for &v in session.viewer_ids().to_vec().iter() {
+        let _ = session.request_depart(v);
+    }
+    session.run_to_idle();
+    assert_eq!(session.cdn().outbound().used(), Bandwidth::ZERO);
+    for &v in session.viewer_ids() {
+        let state = session.viewer(v).unwrap();
+        assert_eq!(
+            state.ports.outbound.used(),
+            Bandwidth::ZERO,
+            "viewer {v} still holds outbound reservations after full departure"
+        );
+        assert_eq!(state.ports.inbound.used(), Bandwidth::ZERO);
+    }
+}
+
+#[test]
+fn adaptation_period_is_deterministic_too() {
+    let run = || {
+        let mut config = small_config().with_outbound(BandwidthProfile::uniform_mbps(0, 12));
+        config.adaptation_period = Some(SimDuration::from_secs(45));
+        let mut session = TelecastSession::builder(config).viewers(60).build();
+        let mut rng = SimRng::seed_from_u64(12);
+        let wl = ViewerWorkload::builder(60, 8)
+            .arrivals(ArrivalModel::Poisson {
+                mean_gap: SimDuration::from_millis(400),
+            })
+            .view_changes(0.5, SimDuration::from_secs(90))
+            .build(&mut rng);
+        session.run_workload(&wl);
+        (
+            session.metrics().subscription_messages.value(),
+            session.layer_snapshot().iter().sum::<u64>(),
+            session.cdn().outbound().used().as_kbps(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn api_errors_are_reported() {
+    let mut session = TelecastSession::builder(small_config()).viewers(2).build();
+    let ids = session.viewer_ids().to_vec();
+    // Unknown view.
+    assert!(session.request_join(ids[0], ViewId::new(99)).is_err());
+    // Double join.
+    session.request_join(ids[0], ViewId::new(0)).unwrap();
+    assert!(session.request_join(ids[0], ViewId::new(0)).is_err());
+    // View change before being connected.
+    assert!(session.request_view_change(ids[1], ViewId::new(1)).is_err());
+    // Depart before join.
+    assert!(session.request_depart(ids[1]).is_err());
+}

@@ -1,0 +1,186 @@
+//! Bundles of streams (paper §I–II, citing "Bundle of streams" [5]).
+//!
+//! "Multiple adjacent streams (called bundle of streams) compose a view"
+//! and "bundles generated across the producer sites at any point in time
+//! are highly dependent; so are the streams inside a bundle". A
+//! [`Bundle`] groups the frames one site captured at (nearly) the same
+//! instant; [`inter_bundle_skew`] measures the delay difference between
+//! dependent bundles at a viewer — the quantity the delay-layer
+//! hierarchy bounds.
+
+use serde::{Deserialize, Serialize};
+use telecast_sim::{SimDuration, SimTime};
+
+use crate::frame::Frame;
+use crate::stream::SiteId;
+
+/// The frames of one site captured at (nearly) one instant — the unit of
+/// intra-site dependency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bundle {
+    site: SiteId,
+    captured_at: SimTime,
+    frames: Vec<Frame>,
+}
+
+impl Bundle {
+    /// Assembles a bundle from frames of one site captured within
+    /// `tolerance` of the earliest frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty, spans multiple sites, or exceeds the
+    /// capture tolerance.
+    pub fn new(frames: Vec<Frame>, tolerance: SimDuration) -> Self {
+        assert!(!frames.is_empty(), "a bundle holds at least one frame");
+        let site = frames[0].stream.site();
+        let earliest = frames
+            .iter()
+            .map(|f| f.captured_at)
+            .min()
+            .expect("non-empty");
+        for f in &frames {
+            assert_eq!(f.stream.site(), site, "bundle spans multiple sites");
+            assert!(
+                f.captured_at.saturating_since(earliest) <= tolerance,
+                "frame {} breaks the bundle capture tolerance",
+                f.number
+            );
+        }
+        Bundle {
+            site,
+            captured_at: earliest,
+            frames,
+        }
+    }
+
+    /// The producing site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Capture instant of the bundle (earliest member frame).
+    pub fn captured_at(&self) -> SimTime {
+        self.captured_at
+    }
+
+    /// The member frames.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Number of streams contributing to the bundle.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the bundle is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Local inter-stream skew *inside* the bundle given per-stream
+    /// arrival times at a viewer: latest minus earliest arrival of the
+    /// member frames. `None` if an arrival is missing.
+    pub fn local_skew(
+        &self,
+        mut arrival_of: impl FnMut(&Frame) -> Option<SimTime>,
+    ) -> Option<SimDuration> {
+        let mut earliest: Option<SimTime> = None;
+        let mut latest: Option<SimTime> = None;
+        for f in &self.frames {
+            let at = arrival_of(f)?;
+            earliest = Some(earliest.map_or(at, |e| e.min(at)));
+            latest = Some(latest.map_or(at, |l| l.max(at)));
+        }
+        Some(latest?.saturating_since(earliest?))
+    }
+}
+
+/// Inter-bundle skew: the difference between the arrival completion
+/// times of two dependent bundles (captured at the same instant at
+/// different sites) at one viewer.
+pub fn inter_bundle_skew(a_completed: SimTime, b_completed: SimTime) -> SimDuration {
+    if a_completed >= b_completed {
+        a_completed.saturating_since(b_completed)
+    } else {
+        b_completed.saturating_since(a_completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameNumber;
+    use crate::stream::StreamId;
+
+    fn frame(site: u16, camera: u16, captured_ms: u64) -> Frame {
+        Frame {
+            stream: StreamId::new(SiteId::new(site), camera),
+            number: FrameNumber::new(captured_ms / 100),
+            captured_at: SimTime::from_millis(captured_ms),
+            bytes: 25_000,
+        }
+    }
+
+    #[test]
+    fn bundle_groups_one_site_one_instant() {
+        let b = Bundle::new(
+            vec![frame(0, 0, 1_000), frame(0, 1, 1_005), frame(0, 2, 1_009)],
+            SimDuration::from_millis(10),
+        );
+        assert_eq!(b.site(), SiteId::new(0));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.captured_at(), SimTime::from_millis(1_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple sites")]
+    fn cross_site_bundle_panics() {
+        Bundle::new(
+            vec![frame(0, 0, 1_000), frame(1, 0, 1_000)],
+            SimDuration::from_millis(10),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capture tolerance")]
+    fn loose_capture_panics() {
+        Bundle::new(
+            vec![frame(0, 0, 1_000), frame(0, 1, 1_200)],
+            SimDuration::from_millis(10),
+        );
+    }
+
+    #[test]
+    fn local_skew_spans_arrivals() {
+        let b = Bundle::new(
+            vec![frame(0, 0, 1_000), frame(0, 1, 1_000)],
+            SimDuration::ZERO,
+        );
+        let skew = b
+            .local_skew(|f| {
+                Some(if f.stream.camera() == 0 {
+                    SimTime::from_millis(61_000)
+                } else {
+                    SimTime::from_millis(61_120)
+                })
+            })
+            .expect("all arrivals known");
+        assert_eq!(skew, SimDuration::from_millis(120));
+        // A missing arrival yields None.
+        assert_eq!(
+            b.local_skew(|f| (f.stream.camera() == 0).then_some(SimTime::ZERO)),
+            None
+        );
+    }
+
+    #[test]
+    fn inter_bundle_skew_is_symmetric() {
+        let a = SimTime::from_millis(61_000);
+        let b = SimTime::from_millis(61_250);
+        assert_eq!(inter_bundle_skew(a, b), SimDuration::from_millis(250));
+        assert_eq!(inter_bundle_skew(b, a), SimDuration::from_millis(250));
+        assert_eq!(inter_bundle_skew(a, a), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! 3DTI media model for the 4D TeleCast reproduction.
+//!
+//! Implements Section II of the paper: producer sites hosting camera
+//! streams with spatial orientations, the stream differentiation function
+//! `df(S, v) = S.w · v.w`, per-site priority indexes `η`, the global
+//! priority `η − df`, threshold cutoff, local and global (4D) views, the
+//! view-change model, plus the synthetic TEEVE frame traces and viewer
+//! workload generators the evaluation replays.
+//!
+//! # Example
+//!
+//! ```
+//! use telecast_media::{ProducerSite, ViewCatalog};
+//!
+//! // The paper's evaluation setup: 2 sites × 8 cameras, 3 streams per
+//! // local view.
+//! let sites = ProducerSite::teeve_pair();
+//! let catalog = ViewCatalog::canonical(&sites, 3);
+//! let view = catalog.view(telecast_media::ViewId::new(0));
+//! assert_eq!(view.streams().count(), 6); // 3 from each site
+//! ```
+
+mod bundle;
+mod frame;
+mod producer;
+mod stream;
+mod teeve;
+mod view;
+mod workload;
+
+pub use bundle::{inter_bundle_skew, Bundle};
+pub use frame::{Frame, FrameNumber};
+pub use producer::ProducerSite;
+pub use stream::{Orientation, SiteId, StreamId, StreamInfo};
+pub use teeve::{SyntheticTeeveTrace, TeeveStreamConfig};
+pub use view::{GlobalView, LocalView, PrioritizedStream, ViewCatalog, ViewId};
+pub use workload::{ArrivalModel, ViewChoice, ViewerWorkload, WorkloadEvent};

@@ -1,0 +1,249 @@
+//! Synthetic TEEVE session traces.
+//!
+//! The paper drives each producer stream with traces "collected from a
+//! TEEVE session, where two remote participants virtually fight with each
+//! other using light sabers", each stream bounded by 2 Mbps. The original
+//! traces were never released, so this generator synthesises per-stream
+//! frame sequences with the same first-order shape: a configurable
+//! fps/bitrate, lognormal frame-size marginals around `bitrate / fps`, and
+//! AR(1) temporal correlation (activity bursts as the sabers swing). See
+//! `DESIGN.md` §4.
+
+use serde::{Deserialize, Serialize};
+use telecast_sim::{SimDuration, SimRng, SimTime};
+
+use crate::frame::{Frame, FrameNumber};
+use crate::stream::{StreamId, StreamInfo};
+
+/// Parameters of one synthetic TEEVE stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TeeveStreamConfig {
+    /// Nominal bitrate in Kbps (paper: 2000).
+    pub bitrate_kbps: u64,
+    /// Frame rate in fps (TEEVE: ~10).
+    pub fps: u32,
+    /// σ of the lognormal size distribution (0 disables size noise).
+    pub sigma: f64,
+    /// AR(1) correlation of consecutive frame-size deviations, in `[0, 1)`.
+    pub correlation: f64,
+}
+
+impl Default for TeeveStreamConfig {
+    fn default() -> Self {
+        TeeveStreamConfig {
+            bitrate_kbps: 2_000,
+            fps: 10,
+            sigma: 0.2,
+            correlation: 0.7,
+        }
+    }
+}
+
+impl TeeveStreamConfig {
+    /// Config matching a [`StreamInfo`]'s rate and fps with default noise.
+    pub fn for_stream(info: &StreamInfo) -> Self {
+        TeeveStreamConfig {
+            bitrate_kbps: info.bitrate_kbps,
+            fps: info.fps,
+            ..Default::default()
+        }
+    }
+
+    /// Mean frame size in bytes.
+    pub fn mean_frame_bytes(&self) -> f64 {
+        self.bitrate_kbps as f64 * 1_000.0 / 8.0 / self.fps as f64
+    }
+
+    /// Time between consecutive captures.
+    pub fn frame_period(&self) -> SimDuration {
+        SimDuration::from_micros(1_000_000 / self.fps as u64)
+    }
+}
+
+/// A deterministic generator of one stream's frame sequence.
+///
+/// ```
+/// use telecast_media::{SiteId, StreamId, SyntheticTeeveTrace, TeeveStreamConfig};
+///
+/// let id = StreamId::new(SiteId::new(0), 3);
+/// let mut trace = SyntheticTeeveTrace::new(id, TeeveStreamConfig::default(), 7);
+/// let first = trace.next_frame();
+/// let second = trace.next_frame();
+/// assert_eq!(second.number.value(), first.number.value() + 1);
+/// assert!(second.captured_at > first.captured_at);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticTeeveTrace {
+    stream: StreamId,
+    config: TeeveStreamConfig,
+    rng: SimRng,
+    next_number: FrameNumber,
+    next_capture: SimTime,
+    /// AR(1) state: previous deviation in log-space.
+    log_dev: f64,
+}
+
+impl SyntheticTeeveTrace {
+    /// Creates a trace for `stream`; the sequence is a pure function of
+    /// `(stream, config, seed)`.
+    pub fn new(stream: StreamId, config: TeeveStreamConfig, seed: u64) -> Self {
+        let mix = seed
+            ^ (stream.site().index() as u64) << 32
+            ^ (stream.camera() as u64) << 16
+            ^ 0x7EE7_E5E5;
+        SyntheticTeeveTrace {
+            stream,
+            config,
+            rng: SimRng::seed_from_u64(mix),
+            next_number: FrameNumber::ZERO,
+            next_capture: SimTime::ZERO,
+            log_dev: 0.0,
+        }
+    }
+
+    /// The stream this trace feeds.
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    /// The stream configuration.
+    pub fn config(&self) -> &TeeveStreamConfig {
+        &self.config
+    }
+
+    /// Capture timestamp of the next frame to be generated.
+    pub fn next_capture_at(&self) -> SimTime {
+        self.next_capture
+    }
+
+    /// Generates the next frame of the sequence.
+    pub fn next_frame(&mut self) -> Frame {
+        let mean = self.config.mean_frame_bytes();
+        let bytes = if self.config.sigma == 0.0 {
+            mean
+        } else {
+            // AR(1) in log space keeps the marginal lognormal with the
+            // configured σ while adding burst correlation.
+            let rho = self.config.correlation;
+            let innovation = self.rng.standard_normal() * (1.0 - rho * rho).sqrt();
+            self.log_dev = rho * self.log_dev + innovation;
+            let sigma = self.config.sigma;
+            // E[exp(σZ)] = exp(σ²/2); divide it out to keep the mean exact.
+            mean * (sigma * self.log_dev - sigma * sigma / 2.0).exp()
+        };
+        let frame = Frame {
+            stream: self.stream,
+            number: self.next_number,
+            captured_at: self.next_capture,
+            bytes: bytes.round().max(1.0) as u32,
+        };
+        self.next_number = self.next_number.next();
+        self.next_capture += self.config.frame_period();
+        frame
+    }
+
+    /// Generates all frames captured strictly before `until`.
+    pub fn frames_until(&mut self, until: SimTime) -> Vec<Frame> {
+        let mut out = Vec::new();
+        while self.next_capture < until {
+            out.push(self.next_frame());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::SiteId;
+
+    fn id() -> StreamId {
+        StreamId::new(SiteId::new(0), 0)
+    }
+
+    #[test]
+    fn frame_numbers_and_timestamps_advance() {
+        let mut t = SyntheticTeeveTrace::new(id(), TeeveStreamConfig::default(), 1);
+        let frames = t.frames_until(SimTime::from_secs(1));
+        assert_eq!(frames.len(), 10); // 10 fps for 1 s
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.number.value(), i as u64);
+            assert_eq!(f.captured_at, SimTime::from_millis(100 * i as u64));
+        }
+    }
+
+    #[test]
+    fn long_run_rate_matches_bitrate() {
+        let mut t = SyntheticTeeveTrace::new(id(), TeeveStreamConfig::default(), 2);
+        let frames = t.frames_until(SimTime::from_secs(300));
+        let total_bytes: u64 = frames.iter().map(|f| f.bytes as u64).sum();
+        let rate_kbps = total_bytes as f64 * 8.0 / 1_000.0 / 300.0;
+        assert!(
+            (rate_kbps - 2_000.0).abs() / 2_000.0 < 0.05,
+            "long-run rate {rate_kbps} Kbps deviates from 2 Mbps"
+        );
+    }
+
+    #[test]
+    fn sizes_are_correlated() {
+        let mut t = SyntheticTeeveTrace::new(id(), TeeveStreamConfig::default(), 3);
+        let frames = t.frames_until(SimTime::from_secs(200));
+        let sizes: Vec<f64> = frames.iter().map(|f| f.bytes as f64).collect();
+        let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        let var: f64 = sizes.iter().map(|s| (s - mean).powi(2)).sum::<f64>();
+        let cov: f64 = sizes
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>();
+        let lag1 = cov / var;
+        assert!(lag1 > 0.4, "lag-1 autocorrelation {lag1} too low for AR(1)");
+    }
+
+    #[test]
+    fn zero_sigma_gives_constant_frames() {
+        let config = TeeveStreamConfig {
+            sigma: 0.0,
+            ..Default::default()
+        };
+        let mut t = SyntheticTeeveTrace::new(id(), config, 4);
+        let frames = t.frames_until(SimTime::from_secs(2));
+        assert!(frames.iter().all(|f| f.bytes == 25_000));
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_stream() {
+        let a: Vec<u32> = SyntheticTeeveTrace::new(id(), TeeveStreamConfig::default(), 5)
+            .frames_until(SimTime::from_secs(5))
+            .iter()
+            .map(|f| f.bytes)
+            .collect();
+        let b: Vec<u32> = SyntheticTeeveTrace::new(id(), TeeveStreamConfig::default(), 5)
+            .frames_until(SimTime::from_secs(5))
+            .iter()
+            .map(|f| f.bytes)
+            .collect();
+        assert_eq!(a, b);
+        let other_stream = StreamId::new(SiteId::new(0), 1);
+        let c: Vec<u32> = SyntheticTeeveTrace::new(other_stream, TeeveStreamConfig::default(), 5)
+            .frames_until(SimTime::from_secs(5))
+            .iter()
+            .map(|f| f.bytes)
+            .collect();
+        assert_ne!(a, c, "different cameras get different traces");
+    }
+
+    #[test]
+    fn config_derives_from_stream_info() {
+        let info = StreamInfo {
+            id: id(),
+            orientation: crate::stream::Orientation::from_degrees(0.0),
+            bitrate_kbps: 4_000,
+            fps: 20,
+        };
+        let config = TeeveStreamConfig::for_stream(&info);
+        assert_eq!(config.bitrate_kbps, 4_000);
+        assert_eq!(config.fps, 20);
+        assert_eq!(config.frame_period(), SimDuration::from_millis(50));
+        assert_eq!(config.mean_frame_bytes(), 25_000.0);
+    }
+}

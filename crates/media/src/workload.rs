@@ -1,0 +1,441 @@
+//! Viewer workload generators: arrivals, view popularity, view changes and
+//! departures — the "dynamic viewer behavior" of the paper's challenge (3).
+
+use serde::{Deserialize, Serialize};
+use telecast_sim::{SimDuration, SimRng, SimTime};
+
+use crate::view::ViewId;
+
+/// How viewers arrive over virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// All viewers arrive at the same instant (the paper's "large-scale
+    /// simultaneous viewer arrivals").
+    Flash,
+    /// One viewer every `gap`; deterministic ramp.
+    Staggered {
+        /// Gap between consecutive arrivals.
+        gap: SimDuration,
+    },
+    /// Poisson arrivals with the given mean inter-arrival time.
+    Poisson {
+        /// Mean inter-arrival time.
+        mean_gap: SimDuration,
+    },
+}
+
+impl ArrivalModel {
+    /// Draws the arrival instants for `count` viewers starting at `from`,
+    /// in non-decreasing order.
+    pub fn arrivals(&self, count: usize, from: SimTime, rng: &mut SimRng) -> Vec<SimTime> {
+        match *self {
+            ArrivalModel::Flash => vec![from; count],
+            ArrivalModel::Staggered { gap } => {
+                (0..count).map(|i| from + gap * i as u64).collect()
+            }
+            ArrivalModel::Poisson { mean_gap } => {
+                let mut t = from;
+                (0..count)
+                    .map(|_| {
+                        t += SimDuration::from_secs_f64(
+                            rng.exponential(mean_gap.as_secs_f64()),
+                        );
+                        t
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// How viewers pick views from the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ViewChoice {
+    /// All viewers request the same view (maximum overlay sharing).
+    Single(ViewId),
+    /// Uniform choice over the catalog.
+    Uniform,
+    /// Zipf-distributed popularity with exponent `s` (rank 0 = the most
+    /// popular view); models the skew of real audiences.
+    Zipf {
+        /// Zipf exponent; 0 degenerates to uniform.
+        s: f64,
+    },
+}
+
+impl ViewChoice {
+    /// Draws one view from a catalog of `catalog_len` views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `catalog_len` is zero.
+    pub fn sample(&self, catalog_len: usize, rng: &mut SimRng) -> ViewId {
+        assert!(catalog_len > 0, "cannot choose from an empty catalog");
+        match *self {
+            ViewChoice::Single(v) => {
+                assert!(v.index() < catalog_len, "view outside catalog");
+                v
+            }
+            ViewChoice::Uniform => ViewId::new(rng.range(0..catalog_len as u32)),
+            ViewChoice::Zipf { s } => ViewId::new(rng.zipf(catalog_len, s) as u32),
+        }
+    }
+
+    /// Draws a view *different from* `current` (a view change target);
+    /// falls back to `current` only for single-view catalogs.
+    pub fn sample_change(
+        &self,
+        catalog_len: usize,
+        current: ViewId,
+        rng: &mut SimRng,
+    ) -> ViewId {
+        if catalog_len <= 1 {
+            return current;
+        }
+        loop {
+            let next = match *self {
+                // Single-view choice has nowhere to go; hop uniformly.
+                ViewChoice::Single(_) => ViewId::new(rng.range(0..catalog_len as u32)),
+                _ => self.sample(catalog_len, rng),
+            };
+            if next != current {
+                return next;
+            }
+        }
+    }
+}
+
+/// One scripted viewer-behaviour event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadEvent {
+    /// Viewer `viewer` joins requesting `view`.
+    Join {
+        /// Workload-local viewer index.
+        viewer: usize,
+        /// Requested view.
+        view: ViewId,
+    },
+    /// Viewer switches to `view`.
+    ViewChange {
+        /// Workload-local viewer index.
+        viewer: usize,
+        /// The new view.
+        view: ViewId,
+    },
+    /// Viewer leaves the session gracefully.
+    Depart {
+        /// Workload-local viewer index.
+        viewer: usize,
+    },
+}
+
+/// A fully-scripted viewer workload: a time-ordered list of joins, view
+/// changes and departures, generated up front so experiments are
+/// reproducible and schemes can be compared on identical inputs.
+///
+/// ```
+/// use telecast_media::{ArrivalModel, ViewChoice, ViewerWorkload};
+/// use telecast_sim::{SimRng, SimTime};
+///
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let wl = ViewerWorkload::builder(100, 8)
+///     .arrivals(ArrivalModel::Flash)
+///     .view_choice(ViewChoice::Zipf { s: 1.0 })
+///     .build(&mut rng);
+/// assert_eq!(wl.events().len(), 100); // joins only by default
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewerWorkload {
+    events: Vec<(SimTime, WorkloadEvent)>,
+    viewer_count: usize,
+}
+
+impl ViewerWorkload {
+    /// Starts building a workload of `viewers` viewers over a catalog of
+    /// `catalog_len` views.
+    pub fn builder(viewers: usize, catalog_len: usize) -> ViewerWorkloadBuilder {
+        ViewerWorkloadBuilder {
+            viewers,
+            catalog_len,
+            arrivals: ArrivalModel::Flash,
+            view_choice: ViewChoice::Uniform,
+            start: SimTime::ZERO,
+            view_changes_per_viewer: 0.0,
+            view_change_window: SimDuration::from_secs(60),
+            departure_fraction: 0.0,
+            departure_window: SimDuration::from_secs(60),
+        }
+    }
+
+    /// The scripted events in non-decreasing time order.
+    pub fn events(&self) -> &[(SimTime, WorkloadEvent)] {
+        &self.events
+    }
+
+    /// Number of distinct viewers in the script.
+    pub fn viewer_count(&self) -> usize {
+        self.viewer_count
+    }
+}
+
+/// Builder for [`ViewerWorkload`].
+#[derive(Debug, Clone)]
+pub struct ViewerWorkloadBuilder {
+    viewers: usize,
+    catalog_len: usize,
+    arrivals: ArrivalModel,
+    view_choice: ViewChoice,
+    start: SimTime,
+    view_changes_per_viewer: f64,
+    view_change_window: SimDuration,
+    departure_fraction: f64,
+    departure_window: SimDuration,
+}
+
+impl ViewerWorkloadBuilder {
+    /// Sets the arrival model (default: flash crowd).
+    pub fn arrivals(mut self, model: ArrivalModel) -> Self {
+        self.arrivals = model;
+        self
+    }
+
+    /// Sets the view-choice model (default: uniform).
+    pub fn view_choice(mut self, choice: ViewChoice) -> Self {
+        self.view_choice = choice;
+        self
+    }
+
+    /// Sets the first arrival instant (default: time zero).
+    pub fn start(mut self, at: SimTime) -> Self {
+        self.start = at;
+        self
+    }
+
+    /// Schedules on average `per_viewer` view changes per viewer, spread
+    /// uniformly over `window` after each viewer's join.
+    pub fn view_changes(mut self, per_viewer: f64, window: SimDuration) -> Self {
+        self.view_changes_per_viewer = per_viewer;
+        self.view_change_window = window;
+        self
+    }
+
+    /// Makes `fraction` of viewers depart, at a uniform instant within
+    /// `window` after their join.
+    ///
+    /// # Panics
+    ///
+    /// `build` panics if the fraction is outside `[0, 1]`.
+    pub fn departures(mut self, fraction: f64, window: SimDuration) -> Self {
+        self.departure_fraction = fraction;
+        self.departure_window = window;
+        self
+    }
+
+    /// Generates the scripted workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the departure fraction is outside `[0, 1]` or the catalog
+    /// is empty while viewers exist.
+    pub fn build(self, rng: &mut SimRng) -> ViewerWorkload {
+        assert!(
+            (0.0..=1.0).contains(&self.departure_fraction),
+            "departure fraction out of range"
+        );
+        let mut events: Vec<(SimTime, WorkloadEvent)> = Vec::new();
+        let arrivals = self.arrivals.arrivals(self.viewers, self.start, rng);
+        for (viewer, &at) in arrivals.iter().enumerate() {
+            let view = self.view_choice.sample(self.catalog_len, rng);
+            events.push((at, WorkloadEvent::Join { viewer, view }));
+
+            let mut current = view;
+            let changes = poisson_count(self.view_changes_per_viewer, rng);
+            let mut change_times: Vec<SimTime> = (0..changes)
+                .map(|_| at + jitter(self.view_change_window, rng))
+                .collect();
+            change_times.sort_unstable();
+            for t in change_times {
+                current = self
+                    .view_choice
+                    .sample_change(self.catalog_len, current, rng);
+                events.push((t, WorkloadEvent::ViewChange { viewer, view: current }));
+            }
+
+            if rng.chance(self.departure_fraction) {
+                let t = at + jitter(self.departure_window, rng);
+                events.push((t, WorkloadEvent::Depart { viewer }));
+            }
+        }
+        events.sort_by_key(|&(t, _)| t);
+        ViewerWorkload {
+            events,
+            viewer_count: self.viewers,
+        }
+    }
+}
+
+/// Samples a Poisson count with the given mean (inversion; means here are
+/// tiny so the linear scan is fine).
+fn poisson_count(mean: f64, rng: &mut SimRng) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let limit = (-mean).exp();
+    let mut product = rng.unit();
+    let mut count = 0;
+    while product > limit {
+        product *= rng.unit();
+        count += 1;
+    }
+    count
+}
+
+fn jitter(window: SimDuration, rng: &mut SimRng) -> SimDuration {
+    if window.is_zero() {
+        SimDuration::ZERO
+    } else {
+        SimDuration::from_micros(rng.range(0..window.as_micros()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flash_arrivals_are_simultaneous() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let at = ArrivalModel::Flash.arrivals(5, SimTime::from_secs(3), &mut rng);
+        assert_eq!(at, vec![SimTime::from_secs(3); 5]);
+    }
+
+    #[test]
+    fn staggered_arrivals_are_evenly_spaced() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let at = ArrivalModel::Staggered {
+            gap: SimDuration::from_millis(10),
+        }
+        .arrivals(3, SimTime::ZERO, &mut rng);
+        assert_eq!(
+            at,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(10),
+                SimTime::from_millis(20)
+            ]
+        );
+    }
+
+    #[test]
+    fn poisson_arrivals_are_ordered() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let at = ArrivalModel::Poisson {
+            mean_gap: SimDuration::from_millis(100),
+        }
+        .arrivals(100, SimTime::ZERO, &mut rng);
+        assert!(at.windows(2).all(|w| w[0] <= w[1]));
+        assert!(at[99] > SimTime::ZERO);
+    }
+
+    #[test]
+    fn zipf_choice_prefers_rank_zero() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let choice = ViewChoice::Zipf { s: 1.2 };
+        let mut counts = [0usize; 8];
+        for _ in 0..8_000 {
+            counts[choice.sample(8, &mut rng).index()] += 1;
+        }
+        assert!(counts[0] > counts[7] * 3);
+    }
+
+    #[test]
+    fn sample_change_never_returns_current() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let choice = ViewChoice::Uniform;
+        for _ in 0..500 {
+            let next = choice.sample_change(8, ViewId::new(3), &mut rng);
+            assert_ne!(next, ViewId::new(3));
+        }
+        // Degenerate single-view catalog: stays put.
+        assert_eq!(
+            choice.sample_change(1, ViewId::new(0), &mut rng),
+            ViewId::new(0)
+        );
+    }
+
+    #[test]
+    fn workload_events_are_time_ordered() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let wl = ViewerWorkload::builder(200, 8)
+            .arrivals(ArrivalModel::Poisson {
+                mean_gap: SimDuration::from_millis(50),
+            })
+            .view_choice(ViewChoice::Zipf { s: 1.0 })
+            .view_changes(1.5, SimDuration::from_secs(30))
+            .departures(0.2, SimDuration::from_secs(60))
+            .build(&mut rng);
+        assert!(wl.events().windows(2).all(|w| w[0].0 <= w[1].0));
+        let joins = wl
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkloadEvent::Join { .. }))
+            .count();
+        assert_eq!(joins, 200);
+        let changes = wl
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkloadEvent::ViewChange { .. }))
+            .count();
+        assert!(changes > 100, "expected ~300 view changes, got {changes}");
+        let departs = wl
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkloadEvent::Depart { .. }))
+            .count();
+        assert!((20..=60).contains(&departs), "expected ~40 departures, got {departs}");
+    }
+
+    #[test]
+    fn view_changes_differ_from_previous_view() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let wl = ViewerWorkload::builder(50, 8)
+            .view_changes(2.0, SimDuration::from_secs(10))
+            .build(&mut rng);
+        // Track each viewer's current view; every change must differ.
+        let mut current: std::collections::HashMap<usize, ViewId> = Default::default();
+        for (_, ev) in wl.events() {
+            match *ev {
+                WorkloadEvent::Join { viewer, view } => {
+                    current.insert(viewer, view);
+                }
+                WorkloadEvent::ViewChange { viewer, view } => {
+                    assert_ne!(current[&viewer], view);
+                    current.insert(viewer, view);
+                }
+                WorkloadEvent::Depart { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            ViewerWorkload::builder(100, 8)
+                .view_changes(1.0, SimDuration::from_secs(10))
+                .departures(0.3, SimDuration::from_secs(20))
+                .build(&mut rng)
+        };
+        assert_eq!(build(9), build(9));
+        assert_ne!(build(9), build(10));
+    }
+
+    #[test]
+    fn poisson_count_mean_is_close() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let n = 10_000;
+        let total: usize = (0..n).map(|_| poisson_count(1.5, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1.5).abs() < 0.1, "poisson mean {mean} far from 1.5");
+    }
+}

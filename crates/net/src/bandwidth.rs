@@ -1,0 +1,449 @@
+//! Bandwidth quantities and capacity accounting.
+//!
+//! Every 4D TeleCast admission decision is a bandwidth reservation: viewer
+//! inbound ports, viewer outbound ports, and the CDN outbound pool are all
+//! [`CapacityAccount`]s. Reservation failures are what turn into dropped
+//! low-priority streams and rejected viewers.
+
+use std::error::Error;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A bandwidth quantity in kilobits per second.
+///
+/// The paper's magnitudes: one 3DTI stream is 400 Kbps–5 Mbps (2 Mbps in the
+/// evaluation), viewer inbound 12 Mbps, CDN pool 6000 Mbps.
+///
+/// ```
+/// use telecast_net::Bandwidth;
+///
+/// let stream = Bandwidth::from_mbps(2);
+/// let inbound = Bandwidth::from_mbps(12);
+/// assert_eq!(inbound / stream, 6); // exactly the paper's 6-stream views
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// No bandwidth.
+    pub const ZERO: Bandwidth = Bandwidth(0);
+
+    /// Creates a quantity from kilobits per second.
+    pub const fn from_kbps(kbps: u64) -> Self {
+        Bandwidth(kbps)
+    }
+
+    /// Creates a quantity from megabits per second.
+    pub const fn from_mbps(mbps: u64) -> Self {
+        Bandwidth(mbps * 1_000)
+    }
+
+    /// Kilobits per second.
+    pub const fn as_kbps(self) -> u64 {
+        self.0
+    }
+
+    /// Megabits per second as a float.
+    pub fn as_mbps_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Whether this is zero bandwidth.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Bandwidth) -> Option<Bandwidth> {
+        self.0.checked_sub(rhs.0).map(Bandwidth)
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Bandwidth {
+    fn add_assign(&mut self, rhs: Bandwidth) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Bandwidth {
+    type Output = Bandwidth;
+    fn sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("bandwidth subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for Bandwidth {
+    fn sub_assign(&mut self, rhs: Bandwidth) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Bandwidth {
+    type Output = Bandwidth;
+    fn mul(self, rhs: u64) -> Bandwidth {
+        Bandwidth(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<Bandwidth> for Bandwidth {
+    type Output = u64;
+    /// How many whole `rhs` streams fit in `self` — the paper's out-degree
+    /// computation `oDeg = ⌊obw / bw⌋`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Bandwidth) -> u64 {
+        assert!(!rhs.is_zero(), "division by zero bandwidth");
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        iter.fold(Bandwidth::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000 && self.0 % 100 == 0 {
+            write!(f, "{:.1}Mbps", self.as_mbps_f64())
+        } else {
+            write!(f, "{}Kbps", self.0)
+        }
+    }
+}
+
+/// Error returned when a reservation exceeds the remaining capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsufficientBandwidthError {
+    /// Amount that was requested.
+    pub requested: Bandwidth,
+    /// Amount that was still available.
+    pub available: Bandwidth,
+}
+
+impl fmt::Display for InsufficientBandwidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "insufficient bandwidth: requested {} but only {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl Error for InsufficientBandwidthError {}
+
+/// A bounded bandwidth account with reserve/release semantics.
+///
+/// ```
+/// use telecast_net::{Bandwidth, CapacityAccount};
+///
+/// let mut port = CapacityAccount::new(Bandwidth::from_mbps(12));
+/// port.reserve(Bandwidth::from_mbps(2))?;
+/// assert_eq!(port.available(), Bandwidth::from_mbps(10));
+/// port.release(Bandwidth::from_mbps(2));
+/// assert_eq!(port.used(), Bandwidth::ZERO);
+/// # Ok::<(), telecast_net::InsufficientBandwidthError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapacityAccount {
+    total: Bandwidth,
+    used: Bandwidth,
+}
+
+impl CapacityAccount {
+    /// Creates an account with the given total capacity and nothing used.
+    pub fn new(total: Bandwidth) -> Self {
+        CapacityAccount {
+            total,
+            used: Bandwidth::ZERO,
+        }
+    }
+
+    /// Total capacity.
+    pub fn total(&self) -> Bandwidth {
+        self.total
+    }
+
+    /// Currently reserved amount.
+    pub fn used(&self) -> Bandwidth {
+        self.used
+    }
+
+    /// Remaining capacity.
+    pub fn available(&self) -> Bandwidth {
+        self.total.saturating_sub(self.used)
+    }
+
+    /// Whether `amount` could currently be reserved.
+    pub fn can_reserve(&self, amount: Bandwidth) -> bool {
+        amount <= self.available()
+    }
+
+    /// Reserves `amount`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InsufficientBandwidthError`] (and reserves nothing) if less
+    /// than `amount` is available.
+    pub fn reserve(&mut self, amount: Bandwidth) -> Result<(), InsufficientBandwidthError> {
+        if self.can_reserve(amount) {
+            self.used += amount;
+            Ok(())
+        } else {
+            Err(InsufficientBandwidthError {
+                requested: amount,
+                available: self.available(),
+            })
+        }
+    }
+
+    /// Releases a previous reservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount` exceeds the currently reserved total — releasing
+    /// bandwidth that was never reserved is an accounting bug.
+    pub fn release(&mut self, amount: Bandwidth) {
+        assert!(
+            amount <= self.used,
+            "release of {amount} exceeds reserved {}",
+            self.used
+        );
+        self.used -= amount;
+    }
+
+    /// Fraction of capacity in use, in `[0, 1]`; 0 for a zero-capacity
+    /// account.
+    pub fn utilisation(&self) -> f64 {
+        if self.total.is_zero() {
+            0.0
+        } else {
+            self.used.as_kbps() as f64 / self.total.as_kbps() as f64
+        }
+    }
+}
+
+/// A distribution over viewer port capacities, matching the paper's sweeps:
+/// fixed values (`Cobw = 6 Mbps`) or uniform ranges (`Cobw ~ U(4, 14) Mbps`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BandwidthProfile {
+    /// Every viewer gets exactly this capacity.
+    Fixed(Bandwidth),
+    /// Capacities drawn uniformly from `[lo, hi]` (inclusive), in Kbps
+    /// resolution.
+    Uniform {
+        /// Lower bound.
+        lo: Bandwidth,
+        /// Upper bound.
+        hi: Bandwidth,
+    },
+}
+
+impl BandwidthProfile {
+    /// Uniform profile over `[lo, hi]` megabits per second.
+    pub fn uniform_mbps(lo: u64, hi: u64) -> Self {
+        BandwidthProfile::Uniform {
+            lo: Bandwidth::from_mbps(lo),
+            hi: Bandwidth::from_mbps(hi),
+        }
+    }
+
+    /// Fixed profile of `mbps` megabits per second.
+    pub fn fixed_mbps(mbps: u64) -> Self {
+        BandwidthProfile::Fixed(Bandwidth::from_mbps(mbps))
+    }
+
+    /// Draws one capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a uniform profile has `lo > hi`.
+    pub fn sample(&self, rng: &mut telecast_sim::SimRng) -> Bandwidth {
+        match *self {
+            BandwidthProfile::Fixed(bw) => bw,
+            BandwidthProfile::Uniform { lo, hi } => {
+                assert!(lo <= hi, "uniform profile with lo > hi");
+                Bandwidth::from_kbps(rng.range(lo.as_kbps()..=hi.as_kbps()))
+            }
+        }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> Bandwidth {
+        match *self {
+            BandwidthProfile::Fixed(bw) => bw,
+            BandwidthProfile::Uniform { lo, hi } => {
+                Bandwidth::from_kbps((lo.as_kbps() + hi.as_kbps()) / 2)
+            }
+        }
+    }
+}
+
+impl fmt::Display for BandwidthProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BandwidthProfile::Fixed(bw) => write!(f, "{bw}"),
+            BandwidthProfile::Uniform { lo, hi } => {
+                write!(f, "U({:.0},{:.0})Mbps", lo.as_mbps_f64(), hi.as_mbps_f64())
+            }
+        }
+    }
+}
+
+/// The two ports of a viewer gateway: inbound (`C_ibw`) and outbound
+/// (`C_obw`) capacity, reserved independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodePorts {
+    /// Download capacity.
+    pub inbound: CapacityAccount,
+    /// Upload capacity.
+    pub outbound: CapacityAccount,
+}
+
+impl NodePorts {
+    /// Creates ports with the given capacities.
+    pub fn new(inbound: Bandwidth, outbound: Bandwidth) -> Self {
+        NodePorts {
+            inbound: CapacityAccount::new(inbound),
+            outbound: CapacityAccount::new(outbound),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_convert() {
+        assert_eq!(Bandwidth::from_mbps(2).as_kbps(), 2_000);
+        assert_eq!(Bandwidth::from_mbps(2).as_mbps_f64(), 2.0);
+    }
+
+    #[test]
+    fn out_degree_division() {
+        // Fig. 9: 10 Mbps outbound over 2 Mbps streams → 5 slots.
+        assert_eq!(Bandwidth::from_mbps(10) / Bandwidth::from_mbps(2), 5);
+        assert_eq!(Bandwidth::from_kbps(3_999) / Bandwidth::from_mbps(2), 1);
+        assert_eq!(Bandwidth::ZERO / Bandwidth::from_mbps(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Bandwidth::from_mbps(1) / Bandwidth::ZERO;
+    }
+
+    #[test]
+    fn reserve_and_release_round_trip() {
+        let mut acct = CapacityAccount::new(Bandwidth::from_mbps(6));
+        acct.reserve(Bandwidth::from_mbps(4)).expect("fits");
+        assert_eq!(acct.available(), Bandwidth::from_mbps(2));
+        assert!((acct.utilisation() - 4.0 / 6.0).abs() < 1e-9);
+        acct.release(Bandwidth::from_mbps(4));
+        assert_eq!(acct.available(), Bandwidth::from_mbps(6));
+    }
+
+    #[test]
+    fn reserve_failure_leaves_state_unchanged() {
+        let mut acct = CapacityAccount::new(Bandwidth::from_mbps(3));
+        let err = acct.reserve(Bandwidth::from_mbps(4)).unwrap_err();
+        assert_eq!(err.requested, Bandwidth::from_mbps(4));
+        assert_eq!(err.available, Bandwidth::from_mbps(3));
+        assert_eq!(acct.used(), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn reserve_exact_capacity_succeeds() {
+        let mut acct = CapacityAccount::new(Bandwidth::from_mbps(2));
+        acct.reserve(Bandwidth::from_mbps(2)).expect("exact fit");
+        assert!(!acct.can_reserve(Bandwidth::from_kbps(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds reserved")]
+    fn over_release_panics() {
+        let mut acct = CapacityAccount::new(Bandwidth::from_mbps(2));
+        acct.release(Bandwidth::from_kbps(1));
+    }
+
+    #[test]
+    fn zero_capacity_account() {
+        let acct = CapacityAccount::new(Bandwidth::ZERO);
+        assert_eq!(acct.utilisation(), 0.0);
+        assert!(!acct.can_reserve(Bandwidth::from_kbps(1)));
+        assert!(acct.can_reserve(Bandwidth::ZERO));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Bandwidth::from_mbps(2).to_string(), "2.0Mbps");
+        assert_eq!(Bandwidth::from_kbps(400).to_string(), "400Kbps");
+        let err = InsufficientBandwidthError {
+            requested: Bandwidth::from_mbps(4),
+            available: Bandwidth::from_mbps(1),
+        };
+        assert!(err.to_string().contains("requested 4.0Mbps"));
+    }
+
+    #[test]
+    fn bandwidth_sums() {
+        let total: Bandwidth = (1..=3).map(Bandwidth::from_mbps).sum();
+        assert_eq!(total, Bandwidth::from_mbps(6));
+    }
+
+    #[test]
+    fn profile_fixed_always_same() {
+        let mut rng = telecast_sim::SimRng::seed_from_u64(1);
+        let p = BandwidthProfile::fixed_mbps(6);
+        for _ in 0..10 {
+            assert_eq!(p.sample(&mut rng), Bandwidth::from_mbps(6));
+        }
+        assert_eq!(p.mean(), Bandwidth::from_mbps(6));
+    }
+
+    #[test]
+    fn profile_uniform_stays_in_range() {
+        let mut rng = telecast_sim::SimRng::seed_from_u64(2);
+        let p = BandwidthProfile::uniform_mbps(4, 14);
+        for _ in 0..1_000 {
+            let bw = p.sample(&mut rng);
+            assert!(bw >= Bandwidth::from_mbps(4) && bw <= Bandwidth::from_mbps(14));
+        }
+        assert_eq!(p.mean(), Bandwidth::from_mbps(9));
+    }
+
+    #[test]
+    fn profile_display() {
+        assert_eq!(BandwidthProfile::fixed_mbps(6).to_string(), "6.0Mbps");
+        assert_eq!(
+            BandwidthProfile::uniform_mbps(0, 12).to_string(),
+            "U(0,12)Mbps"
+        );
+    }
+}

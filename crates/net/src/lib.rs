@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Network substrate for the 4D TeleCast reproduction.
+//!
+//! Provides what the paper's simulator takes from its environment:
+//!
+//! * a **node registry** with geographic regions (the basis for LSC
+//!   clustering),
+//! * a **pairwise delay model** shaped like the 4-hour PlanetLab ping
+//!   traces the paper replays (substituted by a synthetic generator, see
+//!   `DESIGN.md` §4, plus a loader for the original text format),
+//! * **bandwidth capacity accounting** for viewer inbound/outbound ports
+//!   and the CDN pool,
+//! * a **link transfer model** for frame-sized payloads.
+//!
+//! # Example
+//!
+//! ```
+//! use telecast_net::{NodeKind, NodeRegistry, Region, SyntheticPlanetLab, DelayModel};
+//! use telecast_sim::SimTime;
+//!
+//! let mut nodes = NodeRegistry::new();
+//! let a = nodes.add(NodeKind::Viewer, Region::NorthAmerica);
+//! let b = nodes.add(NodeKind::Viewer, Region::Europe);
+//!
+//! let delays = SyntheticPlanetLab::generate(&nodes, 42);
+//! let d = delays.one_way(SimTime::ZERO, a, b);
+//! assert!(d.as_millis() >= 20, "transatlantic delay should be tens of ms");
+//! ```
+
+mod bandwidth;
+mod link;
+mod node;
+mod planetlab;
+mod region;
+
+pub use bandwidth::{
+    Bandwidth, BandwidthProfile, CapacityAccount, InsufficientBandwidthError, NodePorts,
+};
+pub use link::transfer_time;
+pub use node::{NodeId, NodeInfo, NodeKind, NodeRegistry};
+pub use planetlab::{DelayModel, FixedDelay, SyntheticPlanetLab, TraceMatrix, TraceParseError};
+pub use region::Region;

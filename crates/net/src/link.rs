@@ -1,0 +1,65 @@
+//! Link-level transfer model.
+
+use telecast_sim::SimDuration;
+
+use crate::bandwidth::Bandwidth;
+
+/// Serialisation time of a payload of `bytes` over a link of rate `bw`,
+/// i.e. the transmission component of a frame's delivery (propagation is
+/// supplied by the delay model).
+///
+/// # Panics
+///
+/// Panics if `bw` is zero.
+///
+/// ```
+/// use telecast_net::{transfer_time, Bandwidth};
+/// use telecast_sim::SimDuration;
+///
+/// // A 25 KB 3D frame over a 2 Mbps stream allocation: 100 ms.
+/// let t = transfer_time(25_000, Bandwidth::from_mbps(2));
+/// assert_eq!(t, SimDuration::from_millis(100));
+/// ```
+pub fn transfer_time(bytes: u64, bw: Bandwidth) -> SimDuration {
+    assert!(!bw.is_zero(), "cannot transfer over zero bandwidth");
+    // bits / (kbit/s) = ms; keep µs precision.
+    let bits = bytes * 8;
+    SimDuration::from_micros(bits * 1_000 / bw.as_kbps())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_transfer_matches_hand_math() {
+        // 2 Mbps stream at 10 fps → 25 KB frames → exactly one frame period.
+        assert_eq!(
+            transfer_time(25_000, Bandwidth::from_mbps(2)),
+            SimDuration::from_millis(100)
+        );
+    }
+
+    #[test]
+    fn zero_bytes_is_instant() {
+        assert_eq!(
+            transfer_time(0, Bandwidth::from_kbps(1)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn sub_millisecond_precision() {
+        // 125 bytes over 2 Mbps = 0.5 ms.
+        assert_eq!(
+            transfer_time(125, Bandwidth::from_mbps(2)),
+            SimDuration::from_micros(500)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bandwidth")]
+    fn zero_bandwidth_panics() {
+        transfer_time(1, Bandwidth::ZERO);
+    }
+}

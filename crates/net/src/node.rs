@@ -1,0 +1,144 @@
+//! Node identities and the registry of everything attached to the network.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::region::Region;
+
+/// Opaque identifier of a network node (producer gateway, CDN edge,
+/// controller, or viewer gateway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Raw index; valid only within the registry that issued it.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The role a node plays in the 4D TeleCast architecture (Fig. 4 of the
+/// paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A 3DTI producer site gateway.
+    Producer,
+    /// A CDN edge (or core) server.
+    CdnServer,
+    /// The global session controller.
+    GlobalController,
+    /// A per-region local session controller.
+    LocalController,
+    /// A passive content viewer gateway.
+    Viewer,
+}
+
+/// Registered facts about one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeInfo {
+    /// The node's identifier.
+    pub id: NodeId,
+    /// Role of the node.
+    pub kind: NodeKind,
+    /// Geographic region (decides LSC assignment and delay synthesis).
+    pub region: Region,
+}
+
+/// Registry of all nodes participating in a session.
+///
+/// ```
+/// use telecast_net::{NodeKind, NodeRegistry, Region};
+///
+/// let mut nodes = NodeRegistry::new();
+/// let v = nodes.add(NodeKind::Viewer, Region::Asia);
+/// assert_eq!(nodes.get(v).region, Region::Asia);
+/// assert_eq!(nodes.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NodeRegistry {
+    nodes: Vec<NodeInfo>,
+}
+
+impl NodeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a node and returns its identifier.
+    pub fn add(&mut self, kind: NodeKind, region: Region) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node count fits in u32"));
+        self.nodes.push(NodeInfo { id, kind, region });
+        id
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this registry.
+    pub fn get(&self, id: NodeId) -> NodeInfo {
+        self.nodes[id.index()]
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over all registered nodes in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeInfo> {
+        self.nodes.iter()
+    }
+
+    /// All nodes of a given kind, in id order.
+    pub fn of_kind(&self, kind: NodeKind) -> impl Iterator<Item = &NodeInfo> {
+        self.nodes.iter().filter(move |n| n.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut reg = NodeRegistry::new();
+        let a = reg.add(NodeKind::Producer, Region::NorthAmerica);
+        let b = reg.add(NodeKind::Viewer, Region::Europe);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(reg.get(a).kind, NodeKind::Producer);
+        assert_eq!(reg.get(b).region, Region::Europe);
+    }
+
+    #[test]
+    fn of_kind_filters() {
+        let mut reg = NodeRegistry::new();
+        reg.add(NodeKind::Viewer, Region::Asia);
+        reg.add(NodeKind::CdnServer, Region::Asia);
+        reg.add(NodeKind::Viewer, Region::Asia);
+        assert_eq!(reg.of_kind(NodeKind::Viewer).count(), 2);
+        assert_eq!(reg.of_kind(NodeKind::CdnServer).count(), 1);
+        assert_eq!(reg.of_kind(NodeKind::Producer).count(), 0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut reg = NodeRegistry::new();
+        let id = reg.add(NodeKind::Viewer, Region::Oceania);
+        assert_eq!(id.to_string(), "n0");
+    }
+}

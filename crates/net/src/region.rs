@@ -1,0 +1,129 @@
+//! Geographic regions used for LSC clustering and delay synthesis.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A coarse geographic region.
+///
+/// The paper "divide[s] the geographical region into several region-based
+/// clusters and assign[s] a Local Session Controller (LSC) to each cluster".
+/// Five continental clusters match the PlanetLab deployment footprint of the
+/// era.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// North America (the densest PlanetLab cluster).
+    NorthAmerica,
+    /// Europe.
+    Europe,
+    /// East and South Asia.
+    Asia,
+    /// South America.
+    SouthAmerica,
+    /// Australia / Oceania.
+    Oceania,
+}
+
+impl Region {
+    /// All regions, in a fixed order.
+    pub const ALL: [Region; 5] = [
+        Region::NorthAmerica,
+        Region::Europe,
+        Region::Asia,
+        Region::SouthAmerica,
+        Region::Oceania,
+    ];
+
+    /// PlanetLab-era node share per region, used when scattering synthetic
+    /// viewers (rough weights: NA-heavy, then EU, then Asia).
+    pub fn weight(self) -> f64 {
+        match self {
+            Region::NorthAmerica => 0.40,
+            Region::Europe => 0.30,
+            Region::Asia => 0.17,
+            Region::SouthAmerica => 0.08,
+            Region::Oceania => 0.05,
+        }
+    }
+
+    /// Index of the region inside [`Region::ALL`].
+    pub fn index(self) -> usize {
+        Region::ALL
+            .iter()
+            .position(|&r| r == self)
+            .expect("region is listed in ALL")
+    }
+
+    /// Typical one-way inter-region base delay in milliseconds. Symmetric;
+    /// the diagonal is handled by the intra-region distribution instead.
+    pub(crate) fn base_delay_ms(self, other: Region) -> f64 {
+        // A compact continental distance table, in one-way milliseconds,
+        // consistent with published PlanetLab RTT studies (~2010).
+        const TABLE: [[f64; 5]; 5] = [
+            // NA     EU     AS     SA     OC
+            [15.0, 45.0, 75.0, 65.0, 80.0],  // NA
+            [45.0, 12.0, 90.0, 100.0, 140.0], // EU
+            [75.0, 90.0, 25.0, 130.0, 60.0],  // AS
+            [65.0, 100.0, 130.0, 20.0, 150.0], // SA
+            [80.0, 140.0, 60.0, 150.0, 15.0], // OC
+        ];
+        TABLE[self.index()][other.index()]
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Region::NorthAmerica => "north-america",
+            Region::Europe => "europe",
+            Region::Asia => "asia",
+            Region::SouthAmerica => "south-america",
+            Region::Oceania => "oceania",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total: f64 = Region::ALL.iter().map(|r| r.weight()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn base_delay_table_is_symmetric() {
+        for &a in &Region::ALL {
+            for &b in &Region::ALL {
+                assert_eq!(a.base_delay_ms(b), b.base_delay_ms(a));
+            }
+        }
+    }
+
+    #[test]
+    fn intra_region_is_fastest() {
+        for &a in &Region::ALL {
+            for &b in &Region::ALL {
+                if a != b {
+                    assert!(a.base_delay_ms(a) < a.base_delay_ms(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, &r) in Region::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_names_are_kebab() {
+        assert_eq!(Region::NorthAmerica.to_string(), "north-america");
+        assert_eq!(Region::Oceania.to_string(), "oceania");
+    }
+}

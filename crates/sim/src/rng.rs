@@ -1,0 +1,257 @@
+//! Seeded randomness for reproducible experiments.
+//!
+//! Every experiment run derives all of its stochastic inputs (latency
+//! samples, viewer bandwidths, view choices, arrival jitter) from a single
+//! `u64` seed, so figures can be regenerated bit-for-bit.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random source seeded from a `u64`.
+///
+/// Thin wrapper over [`rand::rngs::StdRng`] adding the handful of
+/// distributions the TeleCast workloads need (uniform, exponential, Zipf,
+/// lognormal) without pulling in `rand_distr`.
+///
+/// ```
+/// use telecast_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from_u64(7);
+/// let mut b = SimRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to give each subsystem
+    /// (latency, workload, arrivals) its own stream so adding draws to one
+    /// does not perturb the others.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        let seed = self.inner.gen::<u64>() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from_u64(seed)
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform sample from a range, e.g. `rng.range(0..6)`.
+    pub fn range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Exponential sample with the given mean (inverse-CDF method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean: {mean}");
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Lognormal sample parameterised by the mean of the *resulting*
+    /// distribution and the σ of the underlying normal. Used for frame
+    /// sizes around `bitrate / fps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive or `sigma` is negative.
+    pub fn lognormal_with_mean(&mut self, mean: f64, sigma: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean: {mean}");
+        assert!(sigma.is_finite() && sigma >= 0.0, "invalid sigma: {sigma}");
+        // E[lognormal(µ,σ)] = exp(µ + σ²/2) ⇒ µ = ln(mean) − σ²/2.
+        let mu = mean.ln() - sigma * sigma / 2.0;
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// Zipf-distributed rank in `0..n` with exponent `s` (rank 0 most
+    /// popular), via inversion on the exact finite CDF. Used for view
+    /// popularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf over empty support");
+        assert!(s.is_finite() && s >= 0.0, "invalid exponent: {s}");
+        let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut target = self.inner.gen::<f64>() * norm;
+        for k in 1..=n {
+            target -= 1.0 / (k as f64).powf(s);
+            if target <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Uniformly chooses an element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.inner.gen_range(0..items.len());
+            Some(&items[i])
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(1234);
+        let mut b = SimRng::seed_from_u64(1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let mut root1 = SimRng::seed_from_u64(5);
+        let mut root2 = SimRng::seed_from_u64(5);
+        let mut fork1 = root1.fork(1);
+        let mut fork2 = root2.fork(1);
+        assert_eq!(fork1.next_u64(), fork2.next_u64());
+        // A different label yields a different stream.
+        let mut other = SimRng::seed_from_u64(5).fork(2);
+        assert_ne!(fork1.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean} too far from 2.0");
+    }
+
+    #[test]
+    fn lognormal_mean_is_close() {
+        let mut rng = SimRng::seed_from_u64(10);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| rng.lognormal_with_mean(25_000.0, 0.2))
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - 25_000.0).abs() / 25_000.0 < 0.02,
+            "mean {mean} too far from 25000"
+        );
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut counts = [0usize; 8];
+        for _ in 0..40_000 {
+            counts[rng.zipf(8, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[3]);
+        assert!(counts[3] > counts[7]);
+    }
+
+    #[test]
+    fn zipf_uniform_when_exponent_zero() {
+        let mut rng = SimRng::seed_from_u64(12);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[rng.zipf(4, 0.0)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(13);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from_u64(14);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = SimRng::seed_from_u64(15);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+}

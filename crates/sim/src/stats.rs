@@ -1,0 +1,390 @@
+//! Statistics toolkit backing every figure of the evaluation.
+//!
+//! The paper's plots are CDFs, fractions, and per-parameter series; this
+//! module provides the collectors that produce them: [`Counter`],
+//! [`Histogram`] (with percentiles and [`Summary`]), [`Cdf`] and
+//! [`TimeSeries`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A monotonically increasing named tally.
+///
+/// ```
+/// use telecast_sim::Counter;
+///
+/// let mut served = Counter::new("streams_served_by_cdn");
+/// served.add(3);
+/// served.incr();
+/// assert_eq!(served.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds `n` to the tally.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Adds one to the tally.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Current tally.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+/// Five-number summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample, or 0 if empty.
+    pub min: f64,
+    /// Largest sample, or 0 if empty.
+    pub max: f64,
+    /// Arithmetic mean, or 0 if empty.
+    pub mean: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// A single point of an empirical CDF: fraction of samples `<= value`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdfPoint {
+    /// Sample value.
+    pub value: f64,
+    /// Cumulative fraction in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// An empirical cumulative distribution, the shape of Figures 14(a)–(c).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    points: Vec<CdfPoint>,
+}
+
+impl Cdf {
+    /// Fraction of the distribution at or below `value` (0 for an empty
+    /// CDF).
+    pub fn fraction_at(&self, value: f64) -> f64 {
+        let mut best = 0.0;
+        for p in &self.points {
+            if p.value <= value {
+                best = p.fraction;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Smallest value whose cumulative fraction reaches `q` (`0 < q <= 1`).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.fraction >= q)
+            .map(|p| p.value)
+    }
+
+    /// The underlying step points, ascending in value.
+    pub fn points(&self) -> &[CdfPoint] {
+        &self.points
+    }
+}
+
+/// An unbounded sample collector with exact percentiles.
+///
+/// Samples are kept raw (the experiments collect at most a few hundred
+/// thousand points), so percentiles and CDFs are exact rather than
+/// bucketed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        self.samples.push(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Exact percentile by nearest-rank (`p` in `[0, 100]`), or `None` if
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    }
+
+    /// Five-number summary.
+    pub fn summary(&self) -> Summary {
+        let (min, max) = if self.samples.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (
+                self.samples.iter().copied().fold(f64::INFINITY, f64::min),
+                self.samples
+                    .iter()
+                    .copied()
+                    .fold(f64::NEG_INFINITY, f64::max),
+            )
+        };
+        Summary {
+            count: self.samples.len(),
+            min,
+            max,
+            mean: self.mean(),
+            p50: self.percentile(50.0).unwrap_or(0.0),
+            p99: self.percentile(99.0).unwrap_or(0.0),
+        }
+    }
+
+    /// Builds the empirical CDF of the recorded samples.
+    pub fn cdf(&self) -> Cdf {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        let n = sorted.len() as f64;
+        let mut points: Vec<CdfPoint> = Vec::new();
+        for (i, v) in sorted.iter().enumerate() {
+            let fraction = (i + 1) as f64 / n;
+            match points.last_mut() {
+                Some(last) if last.value == *v => last.fraction = fraction,
+                _ => points.push(CdfPoint {
+                    value: *v,
+                    fraction,
+                }),
+            }
+        }
+        Cdf { points }
+    }
+
+    /// The raw samples in recording order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Histogram {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut h = Histogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+/// A `(time, value)` series, e.g. CDN usage over a session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last recorded point (series are
+    /// append-only in simulation time).
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(at >= last, "time series must be recorded in order");
+        }
+        self.points.push((at, value));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest recorded value, or 0 if empty; Fig. 13(a) reports the peak
+    /// CDN bandwidth this way.
+    pub fn peak(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Last recorded value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// The raw points in time order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("x");
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        assert_eq!(c.name(), "x");
+    }
+
+    #[test]
+    fn histogram_mean_and_percentiles() {
+        let h: Histogram = (1..=100).map(|v| v as f64).collect();
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(h.percentile(50.0), Some(50.0));
+        assert_eq!(h.percentile(99.0), Some(99.0));
+        assert_eq!(h.percentile(100.0), Some(100.0));
+        assert_eq!(h.percentile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), None);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn histogram_rejects_nan() {
+        Histogram::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn cdf_steps_accumulate_to_one() {
+        let h: Histogram = [1.0, 1.0, 2.0, 4.0].into_iter().collect();
+        let cdf = h.cdf();
+        assert_eq!(cdf.points().len(), 3); // deduplicated values
+        assert!((cdf.fraction_at(1.0) - 0.5).abs() < 1e-9);
+        assert!((cdf.fraction_at(2.0) - 0.75).abs() < 1e-9);
+        assert!((cdf.fraction_at(3.9) - 0.75).abs() < 1e-9);
+        assert!((cdf.fraction_at(4.0) - 1.0).abs() < 1e-9);
+        assert_eq!(cdf.fraction_at(0.5), 0.0);
+    }
+
+    #[test]
+    fn cdf_quantile_inverts_fraction() {
+        let h: Histogram = (1..=10).map(|v| v as f64).collect();
+        let cdf = h.cdf();
+        assert_eq!(cdf.quantile(0.5), Some(5.0));
+        assert_eq!(cdf.quantile(1.0), Some(10.0));
+        assert_eq!(cdf.quantile(0.05), Some(1.0));
+    }
+
+    #[test]
+    fn summary_of_known_set() {
+        let h: Histogram = [3.0, 1.0, 2.0].into_iter().collect();
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-9);
+        assert_eq!(s.p50, 2.0);
+    }
+
+    #[test]
+    fn time_series_peak_and_order() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(1), 10.0);
+        ts.record(SimTime::from_secs(2), 30.0);
+        ts.record(SimTime::from_secs(3), 20.0);
+        assert_eq!(ts.peak(), 30.0);
+        assert_eq!(ts.last(), Some(20.0));
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn time_series_rejects_out_of_order() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(2), 1.0);
+        ts.record(SimTime::from_secs(1), 2.0);
+    }
+}

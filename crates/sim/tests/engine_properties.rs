@@ -1,0 +1,85 @@
+//! Property-based tests of the discrete-event engine: ordering, FIFO ties,
+//! cancellation, and clock monotonicity under arbitrary schedules.
+
+use proptest::prelude::*;
+use telecast_sim::{Engine, SimTime};
+
+proptest! {
+    /// Events always fire in non-decreasing time order, whatever the
+    /// scheduling order was.
+    #[test]
+    fn fires_in_nondecreasing_time(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut engine = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut fired = 0usize;
+        while let Some(ev) = engine.pop() {
+            prop_assert!(ev.at >= last);
+            last = ev.at;
+            fired += 1;
+        }
+        prop_assert_eq!(fired, times.len());
+    }
+
+    /// Among events with the same timestamp, scheduling order is preserved.
+    #[test]
+    fn equal_times_fifo(groups in proptest::collection::vec(0u64..16, 1..100)) {
+        let mut engine = Engine::new();
+        for (i, &g) in groups.iter().enumerate() {
+            engine.schedule_at(SimTime::from_millis(g), i);
+        }
+        let mut last_seq_per_time: std::collections::HashMap<u64, usize> = Default::default();
+        while let Some(ev) = engine.pop() {
+            if let Some(&prev) = last_seq_per_time.get(&ev.at.as_micros()) {
+                prop_assert!(ev.payload > prev, "FIFO violated at {}", ev.at);
+            }
+            last_seq_per_time.insert(ev.at.as_micros(), ev.payload);
+        }
+    }
+
+    /// Cancelled events never fire; everything else does exactly once.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut engine = Engine::new();
+        let mut ids = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            ids.push((i, engine.schedule_at(SimTime::from_micros(t), i)));
+        }
+        let mut cancelled = std::collections::HashSet::new();
+        for (&(i, id), &c) in ids.iter().zip(cancel_mask.iter()) {
+            if c {
+                engine.cancel(id);
+                cancelled.insert(i);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some(ev) = engine.pop() {
+            prop_assert!(!cancelled.contains(&ev.payload), "cancelled event fired");
+            prop_assert!(seen.insert(ev.payload), "event fired twice");
+        }
+        prop_assert_eq!(seen.len(), times.len() - cancelled.len());
+    }
+
+    /// pop_until never yields an event beyond the deadline and always parks
+    /// the clock at exactly the deadline when it returns None.
+    #[test]
+    fn pop_until_honours_deadline(
+        times in proptest::collection::vec(0u64..2_000, 0..100),
+        deadline in 0u64..2_000,
+    ) {
+        let mut engine = Engine::new();
+        for &t in &times {
+            engine.schedule_at(SimTime::from_micros(t), t);
+        }
+        let deadline = SimTime::from_micros(deadline);
+        while let Some(ev) = engine.pop_until(deadline) {
+            prop_assert!(ev.at <= deadline);
+        }
+        prop_assert!(engine.now() >= deadline);
+    }
+}

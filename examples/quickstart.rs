@@ -1,0 +1,55 @@
+//! Quickstart: stand up a 4D TeleCast session, join a small audience,
+//! and read the headline metrics.
+//!
+//! ```sh
+//! cargo run --release -p telecast-apps --example quickstart
+//! ```
+
+use telecast::{SessionConfig, TelecastSession};
+use telecast_media::ViewId;
+use telecast_net::BandwidthProfile;
+
+fn main() {
+    // The paper's evaluation setup: 2 producer sites × 8 cameras at
+    // 2 Mbps, 6-stream views, Δ = 60 s CDN, κ = 2 delay layers.
+    let config = SessionConfig::default()
+        .with_outbound(BandwidthProfile::uniform_mbps(4, 14))
+        .with_seed(1);
+
+    let mut session = TelecastSession::builder(config).viewers(25).build();
+
+    // Everyone watches the front view; joins go through the full
+    // GSC → LSC → allocation → topology → subscription protocol.
+    for viewer in session.viewer_ids().to_vec() {
+        session
+            .request_join(viewer, ViewId::new(0))
+            .expect("fresh viewers can join");
+    }
+    session.run_to_idle();
+
+    let m = session.metrics();
+    println!("acceptance ratio ρ   : {:.3}", m.acceptance_ratio());
+    println!("admitted viewers     : {}", m.admitted_viewers.value());
+    println!(
+        "CDN outbound in use  : {:.1} Mbps",
+        session.cdn().outbound().used().as_mbps_f64()
+    );
+    println!(
+        "streams fed by CDN   : {:.1}%",
+        session.cdn_stream_fraction() * 100.0
+    );
+    println!(
+        "median join delay    : {:.0} ms",
+        m.join_delays_ms.percentile(50.0).unwrap_or(0.0)
+    );
+
+    // Every connected viewer renders a synchronous view: the κ-bounded
+    // delay layers keep inter-stream skew within the 300 ms buffer.
+    for &v in session.viewer_ids() {
+        let state = session.viewer(v).expect("pool viewer");
+        if let (Some(min), Some(max)) = (state.layers().min(), state.layers().max()) {
+            assert!(max - min <= session.scheme().kappa());
+        }
+    }
+    println!("view synchronisation : κ bound holds for every viewer");
+}

@@ -1,0 +1,101 @@
+//! Reproducibility: identical configuration + workload ⇒ identical
+//! results, different seeds ⇒ different stochastic inputs; the property
+//! every figure of EXPERIMENTS.md relies on.
+
+use telecast::{PlacementStrategy, SessionConfig, TelecastSession};
+use telecast_media::{ArrivalModel, ViewChoice, ViewerWorkload};
+use telecast_net::BandwidthProfile;
+use telecast_sim::{SimDuration, SimRng};
+
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    acceptance: u64, // scaled to avoid float comparison pitfalls
+    admitted: u64,
+    rejected: u64,
+    cdn_kbps: u64,
+    victims: u64,
+    messages: u64,
+    join_count: usize,
+    layer_sum: u64,
+}
+
+fn fingerprint(seed: u64, placement: PlacementStrategy) -> Fingerprint {
+    let mut config = SessionConfig::default()
+        .with_seed(seed)
+        .with_outbound(BandwidthProfile::uniform_mbps(0, 12));
+    config.placement = placement;
+    if matches!(placement, PlacementStrategy::Random { .. }) {
+        config.layering_enabled = false;
+    }
+    let mut session = TelecastSession::builder(config).viewers(120).build();
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xABCD);
+    let workload = ViewerWorkload::builder(120, 8)
+        .arrivals(ArrivalModel::Poisson {
+            mean_gap: SimDuration::from_millis(30),
+        })
+        .view_choice(ViewChoice::Zipf { s: 1.0 })
+        .view_changes(1.0, SimDuration::from_secs(30))
+        .departures(0.25, SimDuration::from_secs(60))
+        .build(&mut rng);
+    session.run_workload(&workload);
+    let m = session.metrics();
+    Fingerprint {
+        acceptance: (m.acceptance_ratio() * 1e9) as u64,
+        admitted: m.admitted_viewers.value(),
+        rejected: m.rejected_viewers.value(),
+        cdn_kbps: session.cdn().outbound().used().as_kbps(),
+        victims: m.victims.value(),
+        messages: m.subscription_messages.value(),
+        join_count: m.join_delays_ms.len(),
+        layer_sum: session.layer_snapshot().iter().sum(),
+    }
+}
+
+#[test]
+fn push_down_runs_are_bit_identical() {
+    assert_eq!(
+        fingerprint(1, PlacementStrategy::PushDown),
+        fingerprint(1, PlacementStrategy::PushDown)
+    );
+}
+
+#[test]
+fn random_baseline_runs_are_bit_identical() {
+    assert_eq!(
+        fingerprint(2, PlacementStrategy::Random { probes: 1 }),
+        fingerprint(2, PlacementStrategy::Random { probes: 1 })
+    );
+}
+
+#[test]
+fn fifo_runs_are_bit_identical() {
+    assert_eq!(
+        fingerprint(3, PlacementStrategy::Fifo),
+        fingerprint(3, PlacementStrategy::Fifo)
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(
+        fingerprint(10, PlacementStrategy::PushDown),
+        fingerprint(11, PlacementStrategy::PushDown)
+    );
+}
+
+#[test]
+fn workload_scripts_are_reproducible() {
+    let build = |seed| {
+        let mut rng = SimRng::seed_from_u64(seed);
+        ViewerWorkload::builder(500, 8)
+            .arrivals(ArrivalModel::Poisson {
+                mean_gap: SimDuration::from_millis(10),
+            })
+            .view_choice(ViewChoice::Zipf { s: 1.2 })
+            .view_changes(2.0, SimDuration::from_secs(60))
+            .departures(0.4, SimDuration::from_secs(90))
+            .build(&mut rng)
+    };
+    assert_eq!(build(42), build(42));
+    assert_ne!(build(42), build(43));
+}

@@ -1,0 +1,149 @@
+//! End-to-end integration: producer traces → CDN ingest → overlay
+//! placement → viewer buffers → synchronous rendering, across crates.
+
+use telecast::{SessionConfig, TelecastSession, ViewerBuffer, ViewerStatus};
+use telecast_cdn::Distribution;
+use telecast_media::{
+    ProducerSite, SyntheticTeeveTrace, TeeveStreamConfig, ViewCatalog, ViewId,
+};
+use telecast_net::BandwidthProfile;
+use telecast_overlay::TreeParent;
+use telecast_sim::{SimDuration, SimTime};
+
+#[test]
+fn producers_feed_cdn_distribution_storage() {
+    let [site_a, site_b] = ProducerSite::teeve_pair();
+    let mut distribution = Distribution::new(600);
+    for site in [&site_a, &site_b] {
+        for stream in site.streams() {
+            let mut trace =
+                SyntheticTeeveTrace::new(stream.id, TeeveStreamConfig::for_stream(stream), 1);
+            for frame in trace.frames_until(SimTime::from_secs(10)) {
+                distribution.ingest(frame);
+            }
+        }
+    }
+    assert_eq!(distribution.stream_count(), 16);
+    for site in [&site_a, &site_b] {
+        for stream in site.streams() {
+            let stats = distribution.stats(stream.id).expect("ingested");
+            assert_eq!(stats.frames, 100); // 10 fps × 10 s
+            assert_eq!(stats.latest_frame.value(), 99);
+        }
+    }
+}
+
+#[test]
+fn full_session_pipeline_renders_synchronously() {
+    let config = SessionConfig::default()
+        .with_outbound(BandwidthProfile::uniform_mbps(2, 12))
+        .with_seed(17);
+    let mut session = TelecastSession::builder(config).viewers(60).build();
+    let ids = session.viewer_ids().to_vec();
+    for (i, &v) in ids.iter().enumerate() {
+        session
+            .request_join(v, ViewId::new((i % 4) as u32))
+            .expect("valid");
+    }
+    session.run_to_idle();
+
+    // Drive frames through every connected viewer's buffer at the
+    // effective delays the overlay computed; everyone must render.
+    let dbuff = session.config().dbuff;
+    let dcache = session.config().dcache;
+    let horizon = SimTime::from_secs(4);
+    let mut rendered = 0usize;
+    for &v in &ids {
+        let state = session.viewer(v).expect("pool viewer");
+        if state.status != ViewerStatus::Connected || state.subs.is_empty() {
+            continue;
+        }
+        let mut buffer = ViewerBuffer::new(dbuff, dcache);
+        for (&sid, sub) in &state.subs {
+            let mut trace = SyntheticTeeveTrace::new(sid, TeeveStreamConfig::default(), 9);
+            for frame in trace.frames_until(horizon) {
+                buffer.receive(frame, frame.captured_at + sub.e2e);
+            }
+        }
+        let slowest = state.subs.values().map(|s| s.e2e).max().expect("non-empty");
+        let render_at = SimTime::from_secs(2) + slowest;
+        let expected: Vec<_> = state.subs.keys().copied().collect();
+        let frames = buffer
+            .try_render(&expected, render_at, SimDuration::from_millis(100))
+            .unwrap_or_else(|| panic!("viewer {v} cannot render a synchronous 4D view"));
+        assert_eq!(frames.len(), expected.len());
+        rendered += 1;
+    }
+    assert!(rendered > 40, "most of the audience renders ({rendered})");
+}
+
+#[test]
+fn overlay_parents_actually_subscribe_to_the_stream() {
+    let config = SessionConfig::default()
+        .with_outbound(BandwidthProfile::fixed_mbps(8))
+        .with_seed(5);
+    let mut session = TelecastSession::builder(config).viewers(50).build();
+    for v in session.viewer_ids().to_vec() {
+        session.request_join(v, ViewId::new(2)).expect("valid");
+    }
+    session.run_to_idle();
+    for &v in session.viewer_ids() {
+        let state = session.viewer(v).unwrap();
+        for (&sid, sub) in &state.subs {
+            if let TreeParent::Viewer(p) = sub.parent {
+                let parent = session.viewer(p).expect("parent in pool");
+                assert!(
+                    parent.subs.contains_key(&sid),
+                    "parent {p} forwards {sid} without receiving it"
+                );
+                // Delay is strictly downstream of the parent's.
+                assert!(sub.e2e > parent.subs[&sid].e2e);
+            }
+        }
+    }
+}
+
+#[test]
+fn routing_tables_reflect_tree_children() {
+    let config = SessionConfig::default()
+        .with_outbound(BandwidthProfile::fixed_mbps(10))
+        .with_seed(6);
+    let mut session = TelecastSession::builder(config).viewers(30).build();
+    for v in session.viewer_ids().to_vec() {
+        session.request_join(v, ViewId::new(0)).expect("valid");
+    }
+    session.run_to_idle();
+    // Every child found in a parent's subscription list appears in that
+    // parent's session routing table (Table I).
+    let mut forwarded_edges = 0usize;
+    for &v in session.viewer_ids() {
+        let state = session.viewer(v).unwrap();
+        for (&sid, sub) in &state.subs {
+            if let TreeParent::Viewer(p) = sub.parent {
+                let parent = session.viewer(p).unwrap();
+                let has_entry = parent
+                    .routing
+                    .iter()
+                    .any(|((s, _), entry)| *s == sid && entry.children().any(|c| c == v));
+                assert!(has_entry, "routing table of {p} misses child {v} for {sid}");
+                forwarded_edges += 1;
+            }
+        }
+    }
+    assert!(forwarded_edges > 0, "some P2P forwarding exists");
+}
+
+#[test]
+fn catalog_views_cover_both_sites_with_three_streams_each() {
+    let sites = ProducerSite::teeve_pair();
+    let catalog = ViewCatalog::canonical(&sites, 3);
+    assert_eq!(catalog.len(), 8);
+    for view in catalog.iter() {
+        assert_eq!(view.streams().count(), 6);
+        let ordered = view.streams_by_priority();
+        // The admission-mandatory streams (η = 1) lead the order.
+        assert_eq!(ordered[0].eta, 1);
+        assert_eq!(ordered[1].eta, 1);
+        assert_ne!(ordered[0].stream.site(), ordered[1].stream.site());
+    }
+}

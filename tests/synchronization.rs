@@ -1,0 +1,172 @@
+//! View-synchronization guarantees across the whole stack: the κ layer
+//! bound, the exact dbuff skew bound, Layer Property 1 sharing ranges,
+//! and Eq. 2 subscription-point feasibility.
+
+use telecast::{LayerScheme, SessionConfig, TelecastSession, ViewerStatus};
+use telecast_media::{FrameNumber, ViewId};
+use telecast_net::BandwidthProfile;
+use telecast_sim::{SimDuration, SimRng};
+
+fn joined_session(seed: u64, viewers: usize, outbound: BandwidthProfile) -> TelecastSession {
+    let config = SessionConfig::default().with_seed(seed).with_outbound(outbound);
+    let mut session = TelecastSession::builder(config).viewers(viewers).build();
+    let ids = session.viewer_ids().to_vec();
+    for (i, &v) in ids.iter().enumerate() {
+        session
+            .request_join(v, ViewId::new((i % 8) as u32))
+            .expect("valid");
+    }
+    session.run_to_idle();
+    session
+}
+
+#[test]
+fn kappa_bound_holds_across_many_seeds() {
+    for seed in 0..5 {
+        let session = joined_session(seed, 80, BandwidthProfile::uniform_mbps(0, 12));
+        let kappa = session.scheme().kappa();
+        for &v in session.viewer_ids() {
+            let state = session.viewer(v).unwrap();
+            if state.status != ViewerStatus::Connected || state.subs.is_empty() {
+                continue;
+            }
+            let lo = state.layers().min().unwrap();
+            let hi = state.layers().max().unwrap();
+            assert!(hi - lo <= kappa, "seed {seed}, viewer {v}: {lo}..{hi}");
+        }
+    }
+}
+
+#[test]
+fn skew_bound_is_exactly_dbuff() {
+    for seed in 0..5 {
+        let session = joined_session(seed + 50, 80, BandwidthProfile::uniform_mbps(0, 12));
+        let dbuff = session.config().dbuff;
+        for &v in session.viewer_ids() {
+            let state = session.viewer(v).unwrap();
+            if state.status != ViewerStatus::Connected || state.subs.is_empty() {
+                continue;
+            }
+            let e2es: Vec<_> = state.subs.values().map(|s| s.e2e).collect();
+            let skew = *e2es.iter().max().unwrap() - *e2es.iter().min().unwrap();
+            assert!(
+                skew <= dbuff,
+                "viewer {v} skew {skew} exceeds dbuff {dbuff}"
+            );
+        }
+    }
+}
+
+#[test]
+fn no_stream_exceeds_dmax_or_the_max_layer() {
+    let session = joined_session(123, 120, BandwidthProfile::uniform_mbps(0, 12));
+    let max_layer = session.scheme().max_layer();
+    let dmax = session.config().dmax;
+    for &v in session.viewer_ids() {
+        let state = session.viewer(v).unwrap();
+        for sub in state.subs.values() {
+            assert!(sub.layer <= max_layer);
+            assert!(sub.e2e <= dmax);
+            // Effective delay never beats the overlay path.
+            assert!(sub.e2e >= sub.base_e2e || !sub.pushed_down);
+        }
+    }
+}
+
+#[test]
+fn delayed_receive_only_ever_adds_delay() {
+    let session = joined_session(9, 100, BandwidthProfile::uniform_mbps(0, 12));
+    for &v in session.viewer_ids() {
+        let state = session.viewer(v).unwrap();
+        for sub in state.subs.values() {
+            assert!(
+                sub.e2e >= sub.base_e2e,
+                "delayed receive cannot deliver earlier than the path"
+            );
+        }
+    }
+}
+
+#[test]
+fn layer_property_1_sharing_covers_children() {
+    // A parent's shareable range (buffer + cache) must include every
+    // child's actual layer — otherwise the child could not be fed.
+    let session = joined_session(31, 100, BandwidthProfile::uniform_mbps(2, 12));
+    let scheme = session.scheme();
+    let dcache = session.config().dcache;
+    let dbuff = session.config().dbuff;
+    for &v in session.viewer_ids() {
+        let state = session.viewer(v).unwrap();
+        for (&sid, sub) in &state.subs {
+            if let telecast_overlay::TreeParent::Viewer(p) = sub.parent {
+                let parent = session.viewer(p).unwrap();
+                let parent_sub = &parent.subs[&sid];
+                // Hop parameters are not stored; bound with zero
+                // propagation (the loosest lower edge).
+                let (lo, hi) = scheme.shareable_range(
+                    parent_sub.e2e,
+                    SimDuration::ZERO,
+                    SimDuration::ZERO,
+                    dcache,
+                    dbuff,
+                );
+                assert!(
+                    sub.layer >= lo && sub.layer <= hi,
+                    "child layer {} outside parent share range {lo}..{hi}",
+                    sub.layer
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn eq2_subscription_points_are_feasible_positions() {
+    // For any target layer within bounds, Eq. 2 yields a frame number at
+    // or behind the producer's latest frame (you cannot subscribe to the
+    // future), and deeper layers never yield later frames.
+    let scheme = LayerScheme::new(
+        SimDuration::from_secs(60),
+        SimDuration::from_millis(300),
+        2,
+        SimDuration::from_secs(65),
+    );
+    let mut rng = SimRng::seed_from_u64(4);
+    for _ in 0..500 {
+        let latest = FrameNumber::new(rng.range(1_000..1_000_000u64));
+        let fps = *rng.choose(&[10u32, 15, 30]).unwrap();
+        let dprop = SimDuration::from_millis(rng.range(1..150u64));
+        let dproc = SimDuration::from_millis(rng.range(0..200u64));
+        let mut last = None;
+        for layer in 0..=scheme.max_layer() {
+            let n = scheme.subscription_frame(latest, fps, layer, dprop, dproc);
+            assert!(n <= latest, "subscription beyond the live edge");
+            if let Some(prev) = last {
+                assert!(n <= prev, "deeper layer subscribed later");
+            }
+            last = Some(n);
+        }
+    }
+}
+
+#[test]
+fn push_down_fades_out_along_chains() {
+    // Layer push-down positions streams at the top of the target layer,
+    // so re-running push-down on the result is a no-op (the fade-out
+    // property the paper claims for ℛ = τ·r).
+    let scheme = LayerScheme::new(
+        SimDuration::from_secs(60),
+        SimDuration::from_millis(300),
+        2,
+        SimDuration::from_secs(65),
+    );
+    let mut rng = SimRng::seed_from_u64(8);
+    for _ in 0..200 {
+        let mut layers: Vec<u64> = (0..6).map(|_| rng.range(0..30u64)).collect();
+        scheme.push_down(&mut layers);
+        let mut again = layers.clone();
+        let changed = scheme.push_down(&mut again);
+        assert_eq!(changed, 0, "push-down is idempotent");
+        assert_eq!(again, layers);
+    }
+}
