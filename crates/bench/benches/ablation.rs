@@ -24,17 +24,13 @@ fn bench_ablation(c: &mut Criterion) {
         ("priority_first", OutboundPolicy::PriorityFirst),
         ("equal_split", OutboundPolicy::EqualSplit),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("outbound", name),
-            &policy,
-            |b, &policy| {
-                b.iter(|| {
-                    let mut cfg = config();
-                    cfg.outbound_policy = policy;
-                    run_scenario(&Scenario::evaluation(cfg, 100)).acceptance_ratio
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("outbound", name), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut cfg = config();
+                cfg.outbound_policy = policy;
+                run_scenario(&Scenario::evaluation(cfg, 100)).acceptance_ratio
+            })
+        });
     }
     for (name, placement) in [
         ("push_down", PlacementStrategy::PushDown),
@@ -54,8 +50,7 @@ fn bench_ablation(c: &mut Criterion) {
     }
     group.bench_function("layering_off", |b| {
         b.iter(|| {
-            run_scenario(&Scenario::evaluation(no_layering(config()), 100))
-                .effective_bandwidth
+            run_scenario(&Scenario::evaluation(no_layering(config()), 100)).effective_bandwidth
         })
     });
     group.finish();

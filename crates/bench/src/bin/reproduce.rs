@@ -8,6 +8,9 @@ use std::time::Instant;
 
 use telecast_bench::figures;
 
+/// One deferred figure generator, keyed by the name printed with its timing.
+type FigureGenerator = fn(telecast_bench::Scale) -> telecast_bench::FigureData;
+
 fn main() {
     let scale = telecast_bench::Scale::from_env();
     println!("# 4D TeleCast reproduction — scale {scale:?}\n");
@@ -19,9 +22,12 @@ fn main() {
         telecast_bench::emit(&a);
         telecast_bench::emit(&fig_b);
         telecast_bench::emit(&fig_c);
-        println!("# fig13(a,b,c) took {:.1}s\n", start.elapsed().as_secs_f64());
+        println!(
+            "# fig13(a,b,c) took {:.1}s\n",
+            start.elapsed().as_secs_f64()
+        );
     }
-    let figures: Vec<(&str, fn(telecast_bench::Scale) -> telecast_bench::FigureData)> = vec![
+    let figures: Vec<(&str, FigureGenerator)> = vec![
         ("fig14a", figures::fig14a),
         ("fig14b", figures::fig14b),
         ("fig14c", figures::fig14c),

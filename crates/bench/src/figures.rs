@@ -160,9 +160,7 @@ pub fn fig13bc_pair(scale: Scale) -> (FigureData, FigureData) {
                     .iter()
                     .zip(results.iter())
                     .filter(|((jp, _), _)| *jp == p)
-                    .map(|(&(_, n), &(frac, acc))| {
-                        (n as f64, if acceptance { acc } else { frac })
-                    })
+                    .map(|(&(_, n), &(frac, acc))| (n as f64, if acceptance { acc } else { frac }))
                     .collect();
                 Series::new(format!("Cobw={p}"), points)
             })
@@ -211,7 +209,11 @@ pub fn fig14a(scale: Scale) -> FigureData {
 /// (0 = rejected), CDN pool bounded.
 pub fn fig14b(scale: Scale) -> FigureData {
     let result = run_scenario(&fig14_scenario(scale, 0.0));
-    let counts: Vec<f64> = result.streams_per_viewer.iter().map(|&c| c as f64).collect();
+    let counts: Vec<f64> = result
+        .streams_per_viewer
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
     FigureData {
         id: "fig14b".into(),
         title: "Number of streams a viewer receives".into(),
@@ -427,15 +429,24 @@ pub fn ablation_kappa(scale: Scale) -> FigureData {
         series: vec![
             Series::new(
                 "mean max layer",
-                xs.iter().zip(results.iter()).map(|(&x, r)| (x, r.0)).collect(),
+                xs.iter()
+                    .zip(results.iter())
+                    .map(|(&x, r)| (x, r.0))
+                    .collect(),
             ),
             Series::new(
                 "layer drops",
-                xs.iter().zip(results.iter()).map(|(&x, r)| (x, r.1)).collect(),
+                xs.iter()
+                    .zip(results.iter())
+                    .map(|(&x, r)| (x, r.1))
+                    .collect(),
             ),
             Series::new(
                 "effective bw",
-                xs.iter().zip(results.iter()).map(|(&x, r)| (x, r.2)).collect(),
+                xs.iter()
+                    .zip(results.iter())
+                    .map(|(&x, r)| (x, r.2))
+                    .collect(),
             ),
         ],
     }

@@ -91,7 +91,9 @@ pub fn run_scenario(scenario: &Scenario) -> RunResult {
     let catalog_len = {
         // The catalog size equals the first site's camera count for
         // canonical views; build cheaply via a probe session of 0 viewers.
-        let probe = TelecastSession::builder(scenario.config.clone()).viewers(0).build();
+        let probe = TelecastSession::builder(scenario.config.clone())
+            .viewers(0)
+            .build();
         probe.catalog().len()
     };
     let mut session = TelecastSession::builder(scenario.config.clone())
@@ -101,10 +103,7 @@ pub fn run_scenario(scenario: &Scenario) -> RunResult {
     let workload = ViewerWorkload::builder(scenario.viewers, catalog_len)
         .arrivals(scenario.arrivals)
         .view_choice(scenario.view_choice)
-        .view_changes(
-            scenario.view_changes_per_viewer,
-            SimDuration::from_secs(60),
-        )
+        .view_changes(scenario.view_changes_per_viewer, SimDuration::from_secs(60))
         .departures(scenario.departure_fraction, SimDuration::from_secs(120))
         .build(&mut rng);
     session.run_workload(&workload);
@@ -127,43 +126,10 @@ pub fn run_scenario(scenario: &Scenario) -> RunResult {
     }
 }
 
-/// Maps `f` over `items` on up to `threads` crossbeam scoped threads,
-/// preserving order. Each item is an independent simulation run.
-///
-/// # Panics
-///
-/// Propagates panics from `f`.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let jobs: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = crossbeam::queue::SegQueue::new();
-    for job in jobs {
-        queue.push(job);
-    }
-    let results = std::sync::Mutex::new(Vec::<(usize, R)>::new());
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| {
-                while let Some((idx, item)) = queue.pop() {
-                    let r = f(item);
-                    results.lock().expect("no poisoned lock").push((idx, r));
-                }
-            });
-        }
-    })
-    .expect("worker threads join cleanly");
-    let mut collected = results.into_inner().expect("no poisoned lock");
-    collected.sort_by_key(|&(idx, _)| idx);
-    collected.into_iter().map(|(_, r)| r).collect()
-}
+// Sweep execution is the shared deterministic executor in `telecast-sim`;
+// re-exported here so figure generators and downstream callers keep one
+// import path for "run these independent simulations in parallel".
+pub use telecast_sim::{parallel_map, parallel_map_with};
 
 /// Builds an empirical CDF as `(value, fraction ≤ value)` points from
 /// integer-valued samples — the shape of Figures 14(a)–(c).

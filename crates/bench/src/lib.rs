@@ -6,11 +6,12 @@
 //! [`FigureData`] with the same series the paper plots; the `fig*`
 //! binaries print them as aligned tables and export JSON next to the
 //! terminal output. Scenario plumbing lives in [`harness`]; independent
-//! simulation runs of a sweep execute in parallel on crossbeam scoped
-//! threads.
+//! simulation runs of a sweep execute in parallel on the deterministic,
+//! order-preserving executor shared through [`telecast_sim::parallel_map`].
 
 pub mod figures;
 pub mod harness;
+pub mod json;
 pub mod table;
 
 pub use figures::Scale;

@@ -4,10 +4,10 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, JsonValue};
 
 /// One plotted curve: a label plus `(x, y)` points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label, e.g. `Cobw=6Mbps` or `TeleCast`.
     pub label: String,
@@ -34,7 +34,7 @@ impl Series {
 }
 
 /// Everything needed to regenerate one figure of the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureData {
     /// Figure identifier, e.g. `fig13a`.
     pub id: String,
@@ -88,11 +88,104 @@ impl FigureData {
 
     /// Serialises the figure to pretty JSON.
     ///
-    /// # Panics
-    ///
-    /// Panics if serialisation fails (it cannot for this type).
+    /// The document is written by hand (see [`crate::json`]); numbers use
+    /// the shortest round-trip-exact form, so [`FigureData::from_json`]
+    /// reconstructs the figure bit for bit.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("FigureData serialises")
+        let mut out = String::new();
+        out.push_str("{\n");
+        for (i, (key, value)) in [
+            ("id", &self.id),
+            ("title", &self.title),
+            ("x_label", &self.x_label),
+            ("y_label", &self.y_label),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("  ");
+            json::write_escaped(&mut out, key);
+            out.push_str(": ");
+            json::write_escaped(&mut out, value);
+        }
+        out.push_str(",\n  \"series\": [");
+        for (i, series) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n      \"label\": ");
+            json::write_escaped(&mut out, &series.label);
+            out.push_str(",\n      \"points\": [");
+            for (j, &(x, y)) in series.points.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                json::write_number(&mut out, x);
+                out.push_str(", ");
+                json::write_number(&mut out, y);
+                out.push(']');
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.series.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+
+    /// Parses a document produced by [`FigureData::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the malformed or missing element.
+    pub fn from_json(input: &str) -> Result<FigureData, String> {
+        let doc = json::parse(input).map_err(|e| e.to_string())?;
+        let field = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{key}`"))
+        };
+        let mut series = Vec::new();
+        for (i, entry) in doc
+            .get("series")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing array field `series`")?
+            .iter()
+            .enumerate()
+        {
+            let label = entry
+                .get("label")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("series {i}: missing `label`"))?;
+            let mut points = Vec::new();
+            for point in entry
+                .get("points")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| format!("series {i}: missing `points`"))?
+            {
+                match point.as_array() {
+                    Some([x, y]) => match (x.as_f64(), y.as_f64()) {
+                        (Some(x), Some(y)) => points.push((x, y)),
+                        _ => return Err(format!("series {i}: non-numeric point")),
+                    },
+                    _ => return Err(format!("series {i}: point is not an [x, y] pair")),
+                }
+            }
+            series.push(Series::new(label, points));
+        }
+        Ok(FigureData {
+            id: field("id")?,
+            title: field("title")?,
+            x_label: field("x_label")?,
+            y_label: field("y_label")?,
+            series,
+        })
     }
 
     /// Writes `<dir>/<id>.json`.
@@ -107,11 +200,14 @@ impl FigureData {
     }
 }
 
+/// Shortens a label to at most `max` characters, appending `…` when cut.
+/// Operates on char boundaries, so multi-byte labels never split.
 fn truncate(s: &str, max: usize) -> String {
-    if s.len() <= max {
+    if s.chars().count() <= max {
         s.to_string()
     } else {
-        format!("{}…", &s[..max.saturating_sub(1)])
+        let keep: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{keep}…")
     }
 }
 
@@ -154,8 +250,69 @@ mod tests {
     #[test]
     fn json_round_trips() {
         let f = figure();
-        let parsed: FigureData = serde_json::from_str(&f.to_json()).unwrap();
+        let parsed = FigureData::from_json(&f.to_json()).unwrap();
         assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn json_round_trips_non_ascii_and_empty_series() {
+        let f = FigureData {
+            id: "fig≤".into(),
+            title: "τ — \"quoted\"\nmultiline".into(),
+            x_label: "β".into(),
+            y_label: "ρ".into(),
+            series: vec![
+                Series::new("Cobw≤6Mbps", vec![(0.1, -2.5)]),
+                Series::new("∅", vec![]),
+            ],
+        };
+        let parsed = FigureData::from_json(&f.to_json()).unwrap();
+        assert_eq!(parsed, f);
+        let none = FigureData {
+            series: vec![],
+            ..f
+        };
+        assert_eq!(FigureData::from_json(&none.to_json()).unwrap(), none);
+    }
+
+    #[test]
+    fn from_json_reports_malformed_documents() {
+        assert!(FigureData::from_json("{").is_err());
+        assert!(FigureData::from_json("{}").is_err());
+        assert!(FigureData::from_json(
+            r#"{"id":"a","title":"b","x_label":"c","y_label":"d","series":[{"label":"s","points":[[1.0]]}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn write_json_creates_results_dir_and_round_trips() {
+        // Exercise the `results/` auto-creation path `emit` relies on:
+        // point write_json at a tempdir subdirectory that does not exist.
+        let dir = std::env::temp_dir().join(format!(
+            "telecast-table-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let nested = dir.join("results");
+        let _ = fs::remove_dir_all(&dir);
+        assert!(!nested.exists());
+
+        let f = figure();
+        f.write_json(&nested).unwrap();
+        let raw = fs::read_to_string(nested.join("fig0.json")).unwrap();
+        assert_eq!(FigureData::from_json(&raw).unwrap(), f);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_is_char_boundary_safe() {
+        // A multi-byte label used to panic on the old byte-index slice.
+        assert_eq!(truncate("Cobw≤6Mbps—Ω", 8), "Cobw≤6M…");
+        assert_eq!(truncate("ασβγ", 8), "ασβγ");
+        assert_eq!(truncate("日本語のラベル", 4), "日本語…");
+        assert_eq!(truncate("ascii-label-that-is-long", 8), "ascii-l…");
     }
 
     #[test]

@@ -9,8 +9,14 @@ use telecast_net::{Bandwidth, Region};
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
-    Serve { camera: u16, mbps: u64, region: usize },
-    Release { index: usize },
+    Serve {
+        camera: u16,
+        mbps: u64,
+        region: usize,
+    },
+    Release {
+        index: usize,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {

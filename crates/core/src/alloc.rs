@@ -196,7 +196,9 @@ mod tests {
     fn inbound_stops_at_first_supply_gap() {
         // Third stream has no supply: everything after it is dropped too.
         let blocked = StreamId::new(SiteId::new(0), 1);
-        let plan = allocate_inbound(&six_streams(), Bandwidth::from_mbps(12), |s, _| s != blocked);
+        let plan = allocate_inbound(&six_streams(), Bandwidth::from_mbps(12), |s, _| {
+            s != blocked
+        });
         assert_eq!(plan.accepted.len(), 2);
     }
 
@@ -220,7 +222,11 @@ mod tests {
     fn round_robin_matches_fig9() {
         // Fig. 9: 10 Mbps over three 2 Mbps streams → oDeg 2, 2, 1.
         let streams = &six_streams()[..3];
-        let plan = allocate_outbound(streams, Bandwidth::from_mbps(10), OutboundPolicy::RoundRobin);
+        let plan = allocate_outbound(
+            streams,
+            Bandwidth::from_mbps(10),
+            OutboundPolicy::RoundRobin,
+        );
         let degs: Vec<u32> = plan.slots.iter().map(|&(_, d)| d).collect();
         assert_eq!(degs, vec![2, 2, 1]);
         assert_eq!(plan.outbound_used, Bandwidth::from_mbps(10));

@@ -61,10 +61,13 @@ impl ViewerBuffer {
 
     /// Stores a received frame.
     pub fn receive(&mut self, frame: Frame, at: SimTime) {
-        self.streams.entry(frame.stream).or_default().push_back(Slot {
-            frame,
-            received_at: at,
-        });
+        self.streams
+            .entry(frame.stream)
+            .or_default()
+            .push_back(Slot {
+                frame,
+                received_at: at,
+            });
     }
 
     /// Discards frames older than `dbuff + dcache` (past the buffer
@@ -149,8 +152,7 @@ impl ViewerBuffer {
                 let hit = self
                     .buffered(s, now)
                     .filter(|f| {
-                        f.captured_at.as_micros().abs_diff(t_star.as_micros())
-                            <= dskew.as_micros()
+                        f.captured_at.as_micros().abs_diff(t_star.as_micros()) <= dskew.as_micros()
                     })
                     .min_by_key(|f| f.captured_at.as_micros().abs_diff(t_star.as_micros()));
                 match hit {
@@ -236,10 +238,16 @@ mod tests {
         b.receive(frame(s1, 10, 1_000), SimTime::from_millis(61_000));
         b.receive(frame(s2, 10, 1_000), SimTime::from_millis(61_100));
         let rendered = b
-            .try_render(&[s1, s2], SimTime::from_millis(61_150), SimDuration::from_millis(1))
+            .try_render(
+                &[s1, s2],
+                SimTime::from_millis(61_150),
+                SimDuration::from_millis(1),
+            )
             .expect("synchronous render");
         assert_eq!(rendered.len(), 2);
-        assert!(rendered.iter().all(|f| f.captured_at == SimTime::from_millis(1_000)));
+        assert!(rendered
+            .iter()
+            .all(|f| f.captured_at == SimTime::from_millis(1_000)));
     }
 
     #[test]
@@ -251,7 +259,11 @@ mod tests {
         // has left the buffer — the Fig. 7(a) view synchronization problem.
         b.receive(frame(s2, 10, 1_000), SimTime::from_millis(61_400));
         assert!(b
-            .try_render(&[s1, s2], SimTime::from_millis(61_450), SimDuration::from_millis(1))
+            .try_render(
+                &[s1, s2],
+                SimTime::from_millis(61_450),
+                SimDuration::from_millis(1)
+            )
             .is_none());
     }
 
@@ -270,7 +282,10 @@ mod tests {
     #[test]
     fn render_with_no_expected_streams_is_trivial() {
         let b = buf();
-        assert_eq!(b.try_render(&[], SimTime::ZERO, SimDuration::ZERO), Some(vec![]));
+        assert_eq!(
+            b.try_render(&[], SimTime::ZERO, SimDuration::ZERO),
+            Some(vec![])
+        );
     }
 
     #[test]
@@ -281,10 +296,18 @@ mod tests {
         b.receive(frame(s1, 10, 1_000), SimTime::from_millis(61_000));
         b.receive(frame(s2, 20, 1_030), SimTime::from_millis(61_000));
         assert!(b
-            .try_render(&[s1, s2], SimTime::from_millis(61_010), SimDuration::from_millis(50))
+            .try_render(
+                &[s1, s2],
+                SimTime::from_millis(61_010),
+                SimDuration::from_millis(50)
+            )
             .is_some());
         assert!(b
-            .try_render(&[s1, s2], SimTime::from_millis(61_010), SimDuration::from_millis(10))
+            .try_render(
+                &[s1, s2],
+                SimTime::from_millis(61_010),
+                SimDuration::from_millis(10)
+            )
             .is_none());
     }
 }

@@ -192,20 +192,28 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = SessionConfig::default();
-        c.kappa = 1;
+        let c = SessionConfig {
+            kappa: 1,
+            ..SessionConfig::default()
+        };
         assert!(c.validate().unwrap_err().contains("kappa"));
 
-        let mut c = SessionConfig::default();
-        c.sites.clear();
+        let c = SessionConfig {
+            sites: Vec::new(),
+            ..SessionConfig::default()
+        };
         assert!(c.validate().unwrap_err().contains("producer site"));
 
-        let mut c = SessionConfig::default();
-        c.dmax = SimDuration::from_secs(10); // below Δ = 60 s
+        let c = SessionConfig {
+            dmax: SimDuration::from_secs(10), // below Δ = 60 s
+            ..SessionConfig::default()
+        };
         assert!(c.validate().unwrap_err().contains("dmax"));
 
-        let mut c = SessionConfig::default();
-        c.placement = PlacementStrategy::Random { probes: 0 };
+        let c = SessionConfig {
+            placement: PlacementStrategy::Random { probes: 0 },
+            ..SessionConfig::default()
+        };
         assert!(c.validate().unwrap_err().contains("probe"));
     }
 

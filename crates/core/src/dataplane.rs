@@ -87,9 +87,10 @@ impl DataPlane {
                 }
                 for frame in trace.frames_until(until) {
                     for &(viewer, e2e) in subs {
-                        let buffer = self.buffers.entry(viewer).or_insert_with(|| {
-                            ViewerBuffer::new(config.dbuff, config.dcache)
-                        });
+                        let buffer = self
+                            .buffers
+                            .entry(viewer)
+                            .or_insert_with(|| ViewerBuffer::new(config.dbuff, config.dcache));
                         buffer.receive(frame, frame.captured_at + e2e);
                     }
                 }
@@ -170,7 +171,15 @@ mod tests {
         let slowest = session
             .viewer_ids()
             .iter()
-            .filter_map(|&v| session.viewer(v).unwrap().subs.values().map(|s| s.e2e).max())
+            .filter_map(|&v| {
+                session
+                    .viewer(v)
+                    .unwrap()
+                    .subs
+                    .values()
+                    .map(|s| s.e2e)
+                    .max()
+            })
             .max()
             .expect("subscriptions exist");
         let horizon = SimTime::ZERO + slowest + SimDuration::from_secs(3);
@@ -197,7 +206,10 @@ mod tests {
             .copied()
             .find(|&v| once.buffer(v).is_some())
             .expect("someone buffered");
-        assert_eq!(once.buffer(v).unwrap().len(), twice.buffer(v).unwrap().len());
+        assert_eq!(
+            once.buffer(v).unwrap().len(),
+            twice.buffer(v).unwrap().len()
+        );
     }
 
     #[test]

@@ -192,7 +192,10 @@ mod tests {
     fn eq1_child_layer() {
         let s = paper_scheme();
         // CDN child: parent delay Δ, cheap hop → Layer-0.
-        assert_eq!(s.child_layer(D::from_secs(60), D::from_millis(20), D::from_millis(20)), 0);
+        assert_eq!(
+            s.child_layer(D::from_secs(60), D::from_millis(20), D::from_millis(20)),
+            0
+        );
         // One more hop of 100 ms processing + 60 ms prop → 160 ms past Δ → Layer-1.
         assert_eq!(
             s.child_layer(D::from_secs(60), D::from_millis(60), D::from_millis(100)),

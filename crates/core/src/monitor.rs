@@ -116,10 +116,7 @@ mod tests {
     fn latest_frame_tracks_the_clock() {
         let m = monitor();
         let id = ProducerSite::teeve_pair()[0].streams()[0].id;
-        assert_eq!(
-            m.latest_frame(id, SimTime::ZERO),
-            Some(FrameNumber::ZERO)
-        );
+        assert_eq!(m.latest_frame(id, SimTime::ZERO), Some(FrameNumber::ZERO));
         // 10 fps → frame 600 after one minute.
         assert_eq!(
             m.latest_frame(id, SimTime::from_secs(60)),

@@ -235,7 +235,10 @@ mod tests {
     fn out_of_order_log_panics() {
         let (viewer, _, _) = ids();
         let mut log = ProtocolLog::new();
-        log.record(SimTime::from_millis(10), ControlMessage::JoinRequest { viewer });
+        log.record(
+            SimTime::from_millis(10),
+            ControlMessage::JoinRequest { viewer },
+        );
         log.record(SimTime::ZERO, ControlMessage::JoinRequest { viewer });
     }
 }

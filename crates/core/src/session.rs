@@ -672,7 +672,9 @@ impl TelecastSession {
             } => {
                 let delay = self.engine.now() - requested_at;
                 let _ = viewer;
-                self.metrics.join_delays_ms.record(delay.as_micros() as f64 / 1_000.0);
+                self.metrics
+                    .join_delays_ms
+                    .record(delay.as_micros() as f64 / 1_000.0);
             }
             SessionEvent::ProcessViewChange {
                 viewer,
@@ -705,9 +707,7 @@ impl TelecastSession {
             }
             for (sid, sub) in &v.subs {
                 if sub.parent == TreeParent::Cdn && sub.lease.is_none() {
-                    panic!(
-                        "lease invariant broken for viewer {id} stream {sid} after {event:?}"
-                    );
+                    panic!("lease invariant broken for viewer {id} stream {sid} after {event:?}");
                 }
             }
             let subscribed: u64 = v.subs.values().map(|s| s.bitrate_kbps).sum();
@@ -725,7 +725,13 @@ impl TelecastSession {
     // Join
     // ------------------------------------------------------------------
 
-    fn process_join(&mut self, viewer: NodeId, view: ViewId, requested_at: SimTime, background: bool) {
+    fn process_join(
+        &mut self,
+        viewer: NodeId,
+        view: ViewId,
+        requested_at: SimTime,
+        background: bool,
+    ) {
         {
             // A scripted departure may have raced this event.
             let v = &self.viewers[&viewer];
@@ -783,49 +789,54 @@ impl TelecastSession {
         for s in &accepted {
             let bw = self.stream_bw[&s.stream];
             let deg = out_plan.out_degree(s.stream);
-            match self.place_stream(viewer, view, scope, region, s.stream, bw, deg, outbound_total)
-            {
-                Some((parent, disp)) => {
-                    if let Some(d) = disp {
-                        self.metrics.displacements.incr();
-                        // Displacing a direct CDN child takes over its
-                        // root slot: the CDN link count is unchanged, so
-                        // the lease transfers to the joiner.
-                        if parent == TreeParent::Cdn {
-                            let inherited = self
+            if let Some((parent, disp)) = self.place_stream(
+                viewer,
+                view,
+                scope,
+                region,
+                s.stream,
+                bw,
+                deg,
+                outbound_total,
+            ) {
+                if let Some(d) = disp {
+                    self.metrics.displacements.incr();
+                    // Displacing a direct CDN child takes over its
+                    // root slot: the CDN link count is unchanged, so
+                    // the lease transfers to the joiner.
+                    if parent == TreeParent::Cdn {
+                        let inherited = self
+                            .viewers
+                            .get_mut(&d)
+                            .and_then(|dv| dv.subs.get_mut(&s.stream))
+                            .and_then(|ds| {
+                                ds.parent = TreeParent::Viewer(viewer);
+                                ds.lease.take()
+                            });
+                        let lease = match inherited {
+                            Some(lease) => Some(lease),
+                            // Displaced node was mid-recovery without
+                            // a lease: acquire a fresh one.
+                            None => self.cdn.serve(s.stream, bw, region).ok(),
+                        };
+                        match lease {
+                            Some(lease) => self
                                 .viewers
-                                .get_mut(&d)
-                                .and_then(|dv| dv.subs.get_mut(&s.stream))
-                                .and_then(|ds| {
-                                    ds.parent = TreeParent::Viewer(viewer);
-                                    ds.lease.take()
-                                });
-                            let lease = match inherited {
-                                Some(lease) => Some(lease),
-                                // Displaced node was mid-recovery without
-                                // a lease: acquire a fresh one.
-                                None => self.cdn.serve(s.stream, bw, region).ok(),
-                            };
-                            match lease {
-                                Some(lease) => self
-                                    .viewers
-                                    .get_mut(&viewer)
-                                    .expect("viewer exists")
-                                    .stash_cdn_lease(s.stream, lease),
-                                None => {
-                                    // No lease available at all: undo this
-                                    // placement; the stream is unserved.
-                                    displaced.push(d);
-                                    self.undo_placement(viewer, view, scope, s.stream, parent);
-                                    continue;
-                                }
+                                .get_mut(&viewer)
+                                .expect("viewer exists")
+                                .stash_cdn_lease(s.stream, lease),
+                            None => {
+                                // No lease available at all: undo this
+                                // placement; the stream is unserved.
+                                displaced.push(d);
+                                self.undo_placement(viewer, view, scope, s.stream, parent);
+                                continue;
                             }
                         }
-                        displaced.push(d);
                     }
-                    placements.push((*s, parent));
+                    displaced.push(d);
                 }
-                None => {}
+                placements.push((*s, parent));
             }
         }
 
@@ -972,7 +983,9 @@ impl TelecastSession {
             for (sid, sub) in &kept {
                 self.undo_placement(viewer, view, scope, *sid, sub.parent);
                 let v = self.viewers.get_mut(&viewer).expect("viewer exists");
-                v.ports.inbound.release(Bandwidth::from_kbps(sub.bitrate_kbps));
+                v.ports
+                    .inbound
+                    .release(Bandwidth::from_kbps(sub.bitrate_kbps));
             }
             // Release the outbound reservation made above (Random mode
             // never reserved; its parents' ports hold per-edge amounts).
@@ -990,9 +1003,7 @@ impl TelecastSession {
         // Commit.
         self.metrics.accepted_streams.add(kept.len() as u64);
         self.metrics.admitted_viewers.incr();
-        self.metrics
-            .subscription_messages
-            .add(kept.len() as u64); // Subscription-Start to each parent
+        self.metrics.subscription_messages.add(kept.len() as u64); // Subscription-Start to each parent
         let mut parent_updates: Vec<(NodeId, StreamId, SubscriptionPoint)> = Vec::new();
         {
             let v = self.viewers.get_mut(&viewer).expect("viewer exists");
@@ -1390,8 +1401,10 @@ impl TelecastSession {
 
         // Background: the normal join into the new group.
         let backoff = self.config.lsc_processing + self.leg(lsc, viewer);
-        self.engine
-            .schedule_after(serve_legs + backoff, SessionEvent::BackgroundJoin { viewer, view });
+        self.engine.schedule_after(
+            serve_legs + backoff,
+            SessionEvent::BackgroundJoin { viewer, view },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -1453,7 +1466,10 @@ impl TelecastSession {
                     }
                 }
             } else if let Some(v) = view {
-                if let Some(tree) = self.scopes[scope].group_mut(v).and_then(|g| g.tree_mut(sid)) {
+                if let Some(tree) = self.scopes[scope]
+                    .group_mut(v)
+                    .and_then(|g| g.tree_mut(sid))
+                {
                     if tree.contains(viewer) {
                         let victims = tree.remove(viewer);
                         self.recover_victims(sid, v, scope, victims);
@@ -1492,7 +1508,13 @@ impl TelecastSession {
     /// each is already parked at the CDN root by `StreamTree::remove`;
     /// give it a CDN lease at its current delay layer if the pool allows,
     /// otherwise reposition immediately; failing both, drop the stream.
-    fn recover_victims(&mut self, stream: StreamId, view: ViewId, scope: usize, victims: Vec<NodeId>) {
+    fn recover_victims(
+        &mut self,
+        stream: StreamId,
+        view: ViewId,
+        scope: usize,
+        victims: Vec<NodeId>,
+    ) {
         let bw = self.stream_bw[&stream];
         for victim in victims {
             self.metrics.victims.incr();
@@ -1516,8 +1538,8 @@ impl TelecastSession {
                         continue;
                     }
                     // Background reposition through the LSC.
-                    let legs = self.config.lsc_processing
-                        + self.leg(self.lsc_nodes[&region], victim);
+                    let legs =
+                        self.config.lsc_processing + self.leg(self.lsc_nodes[&region], victim);
                     self.engine.schedule_after(
                         legs,
                         SessionEvent::RepositionVictim {
@@ -1720,7 +1742,13 @@ impl TelecastSession {
         let victims = self.scopes[scope]
             .group_mut(view)
             .and_then(|g| g.tree_mut(stream))
-            .map(|t| if t.contains(viewer) { t.remove(viewer) } else { Vec::new() })
+            .map(|t| {
+                if t.contains(viewer) {
+                    t.remove(viewer)
+                } else {
+                    Vec::new()
+                }
+            })
             .unwrap_or_default();
         let lease = {
             let v = self.viewers.get_mut(&viewer).expect("viewer exists");
@@ -1811,9 +1839,7 @@ impl TelecastSession {
                         .map(|ps| ps.e2e)
                         .unwrap_or(self.scheme.delta());
                     let d = pe2e
-                        + self
-                            .delays
-                            .one_way(self.engine.now(), p, viewer)
+                        + self.delays.one_way(self.engine.now(), p, viewer)
                         + self.config.hop_processing;
                     (d, tree_parent)
                 }

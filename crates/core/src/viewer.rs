@@ -103,8 +103,7 @@ impl ViewerState {
     /// Whether the viewer currently has any stream served by the CDN
     /// (including temporary view-change serves).
     pub fn uses_cdn(&self) -> bool {
-        !self.temp_leases.is_empty()
-            || self.subs.values().any(|s| s.parent == TreeParent::Cdn)
+        !self.temp_leases.is_empty() || self.subs.values().any(|s| s.parent == TreeParent::Cdn)
     }
 }
 

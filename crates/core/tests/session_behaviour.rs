@@ -43,10 +43,7 @@ fn zero_outbound_makes_everything_cdn_served() {
     // No P2P capacity at all: every accepted stream has a CDN parent.
     assert!((session.cdn_stream_fraction() - 1.0).abs() < 1e-9);
     // 30 viewers × 6 streams × 2 Mbps = 360 Mbps from the CDN.
-    assert_eq!(
-        session.cdn().outbound().used(),
-        Bandwidth::from_mbps(360)
-    );
+    assert_eq!(session.cdn().outbound().used(), Bandwidth::from_mbps(360));
 }
 
 #[test]
@@ -73,18 +70,15 @@ fn capped_cdn_rejects_overflow_without_p2p() {
 #[test]
 fn p2p_contribution_reduces_cdn_load() {
     let base = small_config().with_cdn(CdnConfig::unbounded());
-    let mut cdn_only = TelecastSession::builder(
-        base.clone().with_outbound(BandwidthProfile::fixed_mbps(0)),
-    )
-    .viewers(60)
-    .build();
+    let mut cdn_only =
+        TelecastSession::builder(base.clone().with_outbound(BandwidthProfile::fixed_mbps(0)))
+            .viewers(60)
+            .build();
     join_all(&mut cdn_only, ViewId::new(0));
 
-    let mut hybrid = TelecastSession::builder(
-        base.with_outbound(BandwidthProfile::fixed_mbps(8)),
-    )
-    .viewers(60)
-    .build();
+    let mut hybrid = TelecastSession::builder(base.with_outbound(BandwidthProfile::fixed_mbps(8)))
+        .viewers(60)
+        .build();
     join_all(&mut hybrid, ViewId::new(0));
 
     let cdn_only_mbps = cdn_only.cdn().outbound().used().as_mbps_f64();
@@ -228,7 +222,10 @@ fn departures_recover_orphans() {
         still_serving += state.stream_count();
     }
     assert!(still_serving > 0);
-    assert!(session.metrics().victims.value() > 0, "departures orphaned someone");
+    assert!(
+        session.metrics().victims.value() > 0,
+        "departures orphaned someone"
+    );
 }
 
 #[test]

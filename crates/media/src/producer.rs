@@ -91,7 +91,11 @@ mod tests {
     #[test]
     fn ring_spacing_is_even() {
         let site = ProducerSite::ring(SiteId::new(0), 4, 1_000, 10);
-        let degs: Vec<f64> = site.streams().iter().map(|s| s.orientation.degrees()).collect();
+        let degs: Vec<f64> = site
+            .streams()
+            .iter()
+            .map(|s| s.orientation.degrees())
+            .collect();
         assert_eq!(degs, vec![0.0, 90.0, 180.0, 270.0]);
     }
 

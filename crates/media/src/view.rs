@@ -394,8 +394,10 @@ mod tests {
     fn catalog_from_views_validates_ids() {
         let sites = teeve_sites();
         let v = Orientation::from_degrees(0.0);
-        let locals =
-            vec![LocalView::compute(&sites[0], v, -1.0, 2), LocalView::compute(&sites[1], v, -1.0, 2)];
+        let locals = vec![
+            LocalView::compute(&sites[0], v, -1.0, 2),
+            LocalView::compute(&sites[1], v, -1.0, 2),
+        ];
         let view = GlobalView::new(ViewId::new(0), v, locals);
         let catalog = ViewCatalog::from_views(vec![view]);
         assert_eq!(catalog.len(), 1);
@@ -407,8 +409,7 @@ mod tests {
         let sites = teeve_sites();
         let catalog = ViewCatalog::canonical(&sites, 3);
         let view = catalog.view(ViewId::new(2));
-        let site_set: std::collections::BTreeSet<_> =
-            view.streams().map(|s| s.site()).collect();
+        let site_set: std::collections::BTreeSet<_> = view.streams().map(|s| s.site()).collect();
         assert_eq!(
             site_set,
             [SiteId::new(0), SiteId::new(1)].into_iter().collect()

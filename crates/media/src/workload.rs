@@ -30,16 +30,12 @@ impl ArrivalModel {
     pub fn arrivals(&self, count: usize, from: SimTime, rng: &mut SimRng) -> Vec<SimTime> {
         match *self {
             ArrivalModel::Flash => vec![from; count],
-            ArrivalModel::Staggered { gap } => {
-                (0..count).map(|i| from + gap * i as u64).collect()
-            }
+            ArrivalModel::Staggered { gap } => (0..count).map(|i| from + gap * i as u64).collect(),
             ArrivalModel::Poisson { mean_gap } => {
                 let mut t = from;
                 (0..count)
                     .map(|_| {
-                        t += SimDuration::from_secs_f64(
-                            rng.exponential(mean_gap.as_secs_f64()),
-                        );
+                        t += SimDuration::from_secs_f64(rng.exponential(mean_gap.as_secs_f64()));
                         t
                     })
                     .collect()
@@ -83,12 +79,7 @@ impl ViewChoice {
 
     /// Draws a view *different from* `current` (a view change target);
     /// falls back to `current` only for single-view catalogs.
-    pub fn sample_change(
-        &self,
-        catalog_len: usize,
-        current: ViewId,
-        rng: &mut SimRng,
-    ) -> ViewId {
+    pub fn sample_change(&self, catalog_len: usize, current: ViewId, rng: &mut SimRng) -> ViewId {
         if catalog_len <= 1 {
             return current;
         }
@@ -258,7 +249,13 @@ impl ViewerWorkloadBuilder {
                 current = self
                     .view_choice
                     .sample_change(self.catalog_len, current, rng);
-                events.push((t, WorkloadEvent::ViewChange { viewer, view: current }));
+                events.push((
+                    t,
+                    WorkloadEvent::ViewChange {
+                        viewer,
+                        view: current,
+                    },
+                ));
             }
 
             if rng.chance(self.departure_fraction) {
@@ -392,7 +389,10 @@ mod tests {
             .iter()
             .filter(|(_, e)| matches!(e, WorkloadEvent::Depart { .. }))
             .count();
-        assert!((20..=60).contains(&departs), "expected ~40 departures, got {departs}");
+        assert!(
+            (20..=60).contains(&departs),
+            "expected ~40 departures, got {departs}"
+        );
     }
 
     #[test]

@@ -42,10 +42,7 @@ mod tests {
 
     #[test]
     fn zero_bytes_is_instant() {
-        assert_eq!(
-            transfer_time(0, Bandwidth::from_kbps(1)),
-            SimDuration::ZERO
-        );
+        assert_eq!(transfer_time(0, Bandwidth::from_kbps(1)), SimDuration::ZERO);
     }
 
     #[test]

@@ -139,7 +139,11 @@ pub struct TraceParseError {
 
 impl fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -287,9 +291,10 @@ mod tests {
         let a = SyntheticPlanetLab::generate(&reg, 7);
         let b = SyntheticPlanetLab::generate(&reg, 8);
         let ids: Vec<_> = reg.iter().map(|n| n.id).collect();
-        let same = ids.iter().flat_map(|&x| ids.iter().map(move |&y| (x, y))).all(
-            |(x, y)| a.one_way(SimTime::ZERO, x, y) == b.one_way(SimTime::ZERO, x, y),
-        );
+        let same = ids
+            .iter()
+            .flat_map(|&x| ids.iter().map(move |&y| (x, y)))
+            .all(|(x, y)| a.one_way(SimTime::ZERO, x, y) == b.one_way(SimTime::ZERO, x, y));
         assert!(!same, "different seeds produced identical matrices");
     }
 

@@ -61,11 +61,11 @@ impl Region {
         // consistent with published PlanetLab RTT studies (~2010).
         const TABLE: [[f64; 5]; 5] = [
             // NA     EU     AS     SA     OC
-            [15.0, 45.0, 75.0, 65.0, 80.0],  // NA
-            [45.0, 12.0, 90.0, 100.0, 140.0], // EU
-            [75.0, 90.0, 25.0, 130.0, 60.0],  // AS
+            [15.0, 45.0, 75.0, 65.0, 80.0],    // NA
+            [45.0, 12.0, 90.0, 100.0, 140.0],  // EU
+            [75.0, 90.0, 25.0, 130.0, 60.0],   // AS
             [65.0, 100.0, 130.0, 20.0, 150.0], // SA
-            [80.0, 140.0, 60.0, 150.0, 15.0], // OC
+            [80.0, 140.0, 60.0, 150.0, 15.0],  // OC
         ];
         TABLE[self.index()][other.index()]
     }

@@ -257,12 +257,7 @@ mod tests {
             children[0],
             SubscriptionPoint::Frame(FrameNumber::new(7))
         ));
-        assert!(!table.update_subscription(
-            stream,
-            parent,
-            children[1],
-            SubscriptionPoint::Live
-        ));
+        assert!(!table.update_subscription(stream, parent, children[1], SubscriptionPoint::Live));
     }
 
     #[test]

@@ -195,7 +195,12 @@ impl StreamTree {
                 match slot {
                     Slot::Free(under) => {
                         // Virtual node of out-degree −1: any viewer wins.
-                        self.attach(viewer, out_degree, outbound_capacity, TreeParent::Viewer(under));
+                        self.attach(
+                            viewer,
+                            out_degree,
+                            outbound_capacity,
+                            TreeParent::Viewer(under),
+                        );
                         return Some(TreeParent::Viewer(under));
                     }
                     Slot::Occupied(z) => {
@@ -256,7 +261,12 @@ impl StreamTree {
             self.free_slots_of(parent) > 0,
             "parent {parent} has no free slot"
         );
-        self.attach(viewer, out_degree, outbound_capacity, TreeParent::Viewer(parent));
+        self.attach(
+            viewer,
+            out_degree,
+            outbound_capacity,
+            TreeParent::Viewer(parent),
+        );
     }
 
     /// The first member (in id order) with a free forwarding slot — the
@@ -330,7 +340,11 @@ impl StreamTree {
             for slot in level {
                 match slot {
                     Slot::Free(under) => {
-                        self.nodes.get_mut(&under).expect("member").children.insert(viewer);
+                        self.nodes
+                            .get_mut(&under)
+                            .expect("member")
+                            .children
+                            .insert(viewer);
                         self.nodes.get_mut(&viewer).expect("member").parent =
                             TreeParent::Viewer(under);
                         return Some(TreeParent::Viewer(under));
@@ -496,7 +510,10 @@ impl StreamTree {
                 pnode.children.remove(&viewer);
             }
         }
-        self.nodes.get_mut(&viewer).expect("viewer is a member").parent = TreeParent::Cdn;
+        self.nodes
+            .get_mut(&viewer)
+            .expect("viewer is a member")
+            .parent = TreeParent::Cdn;
         self.cdn_children.insert(viewer);
     }
 
@@ -529,7 +546,10 @@ impl StreamTree {
         let mut reachable: BTreeSet<NodeId> = BTreeSet::new();
         let mut stack: Vec<NodeId> = self.cdn_children.iter().copied().collect();
         for &c in &self.cdn_children {
-            let node = self.nodes.get(&c).ok_or_else(|| format!("cdn child {c} unknown"))?;
+            let node = self
+                .nodes
+                .get(&c)
+                .ok_or_else(|| format!("cdn child {c} unknown"))?;
             if node.parent != TreeParent::Cdn {
                 return Err(format!("cdn child {c} has non-CDN parent"));
             }
@@ -601,8 +621,14 @@ mod tests {
         let v = viewers(3);
         let mut tree = StreamTree::new(stream());
         tree.attach_to_cdn(v[0], 2, mbps(4));
-        assert_eq!(tree.insert(v[1], 0, mbps(0)), Some(TreeParent::Viewer(v[0])));
-        assert_eq!(tree.insert(v[2], 0, mbps(0)), Some(TreeParent::Viewer(v[0])));
+        assert_eq!(
+            tree.insert(v[1], 0, mbps(0)),
+            Some(TreeParent::Viewer(v[0]))
+        );
+        assert_eq!(
+            tree.insert(v[2], 0, mbps(0)),
+            Some(TreeParent::Viewer(v[0]))
+        );
         assert_eq!(tree.free_slots_of(v[0]), 0);
         tree.check_invariants().unwrap();
     }
@@ -612,6 +638,7 @@ mod tests {
         let v = viewers(2);
         let mut tree = StreamTree::new(stream());
         tree.attach_to_cdn(v[0], 0, mbps(0)); // weak CDN child, no slots
+
         // v1 has degree 2 > 0: displaces v0, inheriting the CDN position.
         assert_eq!(tree.insert(v[1], 2, mbps(4)), Some(TreeParent::Cdn));
         assert_eq!(tree.parent_of(v[1]), Some(TreeParent::Cdn));
@@ -637,7 +664,10 @@ mod tests {
         let mut tree = StreamTree::new(stream());
         tree.attach_to_cdn(v[0], 1, mbps(2));
         // Identical (degree, capacity): no displacement; free slot used.
-        assert_eq!(tree.insert(v[1], 1, mbps(2)), Some(TreeParent::Viewer(v[0])));
+        assert_eq!(
+            tree.insert(v[1], 1, mbps(2)),
+            Some(TreeParent::Viewer(v[0]))
+        );
         assert_eq!(tree.parent_of(v[0]), Some(TreeParent::Cdn));
         tree.check_invariants().unwrap();
     }
@@ -649,6 +679,7 @@ mod tests {
         tree.attach_to_cdn(v[0], 2, mbps(4));
         tree.insert(v[1], 1, mbps(2)); // child of v0
         tree.insert(v[2], 0, mbps(0)); // child of v1 or v0
+
         // A strong joiner displaces v0 at the root.
         assert_eq!(tree.insert(v[3], 3, mbps(8)), Some(TreeParent::Cdn));
         assert_eq!(tree.parent_of(v[0]), Some(TreeParent::Viewer(v[3])));
@@ -664,10 +695,14 @@ mod tests {
         let mut tree = StreamTree::new(stream());
         tree.attach_to_cdn(v[0], 1, mbps(10));
         tree.insert(v[1], 1, mbps(10)); // fills v0's only slot
+
         // v1 has no slots (degree 1, one used? No - v1 has 1 slot free).
         // Give v2 the weakest profile so it cannot displace anyone, but
         // v1 still has a free slot, so it lands there.
-        assert_eq!(tree.insert(v[2], 0, mbps(0)), Some(TreeParent::Viewer(v[1])));
+        assert_eq!(
+            tree.insert(v[2], 0, mbps(0)),
+            Some(TreeParent::Viewer(v[1]))
+        );
         tree.check_invariants().unwrap();
     }
 
@@ -694,7 +729,10 @@ mod tests {
         // Edge invariant: every viewer parent has >= (degree, capacity).
         for m in tree.members().collect::<Vec<_>>() {
             if let Some(TreeParent::Viewer(p)) = tree.parent_of(m) {
-                let (dm, dp) = (tree.out_degree_of(m).unwrap(), tree.out_degree_of(p).unwrap());
+                let (dm, dp) = (
+                    tree.out_degree_of(m).unwrap(),
+                    tree.out_degree_of(p).unwrap(),
+                );
                 assert!(dp >= dm, "parent {p} weaker than child {m}");
             }
         }
@@ -803,6 +841,7 @@ mod tests {
         tree.attach_to_cdn(v[0], 2, mbps(4));
         tree.insert(v[1], 1, mbps(2)); // under v0
         tree.insert(v[2], 0, mbps(0)); // under v1 or v0
+
         // v3 arrives as a CDN-parked victim with a subtree-less profile.
         tree.attach_to_cdn(v[3], 0, mbps(0));
         let parent = tree.reposition_from_cdn(v[3]);
@@ -818,6 +857,7 @@ mod tests {
         // Victim v0 parked at CDN with child v1.
         tree.attach_to_cdn(v[0], 2, mbps(8));
         tree.insert(v[1], 0, mbps(0)); // child of v0
+
         // Other branch: weak CDN child with a slot.
         tree.attach_to_cdn(v[2], 1, mbps(2));
         let parent = tree.reposition_from_cdn(v[0]).expect("position exists");

@@ -9,21 +9,51 @@ use telecast_overlay::{SessionRoutingTable, SubscriptionPoint};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Add { stream: u16, parent: u8, child: u8, frame: Option<u64> },
-    Update { stream: u16, parent: u8, child: u8, frame: u64 },
-    Remove { stream: u16, parent: u8, child: u8 },
-    RemoveStream { stream: u16 },
+    Add {
+        stream: u16,
+        parent: u8,
+        child: u8,
+        frame: Option<u64>,
+    },
+    Update {
+        stream: u16,
+        parent: u8,
+        child: u8,
+        frame: u64,
+    },
+    Remove {
+        stream: u16,
+        parent: u8,
+        child: u8,
+    },
+    RemoveStream {
+        stream: u16,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u16..4, 0u8..6, 0u8..6, proptest::option::of(0u64..1000)).prop_map(
-            |(stream, parent, child, frame)| Op::Add { stream, parent, child, frame }
+            |(stream, parent, child, frame)| Op::Add {
+                stream,
+                parent,
+                child,
+                frame
+            }
         ),
-        (0u16..4, 0u8..6, 0u8..6, 0u64..1000)
-            .prop_map(|(stream, parent, child, frame)| Op::Update { stream, parent, child, frame }),
-        (0u16..4, 0u8..6, 0u8..6)
-            .prop_map(|(stream, parent, child)| Op::Remove { stream, parent, child }),
+        (0u16..4, 0u8..6, 0u8..6, 0u64..1000).prop_map(|(stream, parent, child, frame)| {
+            Op::Update {
+                stream,
+                parent,
+                child,
+                frame,
+            }
+        }),
+        (0u16..4, 0u8..6, 0u8..6).prop_map(|(stream, parent, child)| Op::Remove {
+            stream,
+            parent,
+            child
+        }),
         (0u16..4).prop_map(|stream| Op::RemoveStream { stream }),
     ]
 }

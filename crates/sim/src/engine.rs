@@ -284,7 +284,9 @@ mod tests {
         engine.schedule_at(SimTime::from_millis(10), "early");
         engine.schedule_at(SimTime::from_millis(100), "late");
         assert_eq!(
-            engine.pop_until(SimTime::from_millis(50)).map(|f| f.payload),
+            engine
+                .pop_until(SimTime::from_millis(50))
+                .map(|f| f.payload),
             Some("early")
         );
         assert_eq!(engine.pop_until(SimTime::from_millis(50)), None);

@@ -26,11 +26,13 @@
 //! ```
 
 mod engine;
+mod parallel;
 mod rng;
 mod stats;
 mod time;
 
 pub use engine::{Engine, EventId, Fired};
-pub use rng::SimRng;
+pub use parallel::{default_parallelism, parallel_map, parallel_map_with};
+pub use rng::{SampleRange, SampleUniform, SimRng};
 pub use stats::{Cdf, CdfPoint, Counter, Histogram, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};

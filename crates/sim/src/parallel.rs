@@ -1,0 +1,192 @@
+//! Deterministic, order-preserving parallel execution for simulation
+//! sweeps.
+//!
+//! Every figure generator (and any future hundred-scale sweep) runs many
+//! *independent* simulations — one per point of a parameter grid, each
+//! fully determined by its own seed. [`parallel_map`] executes such a
+//! sweep on scoped worker threads while guaranteeing that the output is
+//! **bit-identical to the sequential map and independent of the worker
+//! count**: results land in pre-sized per-index slots, so thread
+//! scheduling can reorder the *work* but never the *results*.
+//!
+//! ```
+//! use telecast_sim::parallel_map;
+//!
+//! let doubled = parallel_map((0..64).collect(), |x: u64| x * 2);
+//! assert_eq!(doubled, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+
+/// Maps `f` over `items` on up to [`default_parallelism`] scoped threads,
+/// preserving input order.
+///
+/// Empty and single-item sweeps (and machines reporting one core) run
+/// inline without spawning any worker thread.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = default_parallelism().min(items.len());
+    parallel_map_with(items, threads, f)
+}
+
+/// [`parallel_map`] with an explicit worker count.
+///
+/// The output never depends on `threads`: each input index owns a result
+/// slot, workers claim indices from a shared atomic cursor, and the slots
+/// are read back in index order once every worker has finished. Passing
+/// `threads <= 1` runs the map inline on the caller's thread.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map_with<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 || threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let threads = threads.min(n);
+
+    // Each job is taken exactly once (the cursor hands every index to one
+    // worker), so the per-job mutexes are never contended; they only make
+    // moving `T` out of the shared vector safe.
+    let jobs: Vec<Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|item| Mutex::new(Some(item)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let (sender, receiver) = mpsc::channel::<(usize, R)>();
+
+    thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let sender = sender.clone();
+                let jobs = &jobs;
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let item = jobs[index]
+                        .lock()
+                        .expect("job mutex never poisoned")
+                        .take()
+                        .expect("each job claimed exactly once");
+                    // The channel is unbounded, so workers never block on
+                    // the collector and results can be drained after the
+                    // scope.
+                    if sender.send((index, f(item))).is_err() {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        // Join explicitly so a worker's panic payload resurfaces verbatim
+        // instead of the scope's generic "a scoped thread panicked".
+        for worker in workers {
+            if let Err(payload) = worker.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    drop(sender);
+
+    // Pre-sized per-index slots: arrival order is scheduling-dependent,
+    // final placement is not.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (index, result) in receiver.try_iter() {
+        debug_assert!(slots[index].is_none(), "result index delivered twice");
+        slots[index] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index produced a result"))
+        .collect()
+}
+
+/// Worker count [`parallel_map`] uses: the machine's available
+/// parallelism, or 4 if it cannot be determined.
+pub fn default_parallelism() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let caller = thread::current().id();
+        let out = parallel_map(vec![7u64], |x| {
+            assert_eq!(thread::current().id(), caller);
+            x + 1
+        });
+        assert_eq!(out, vec![8]);
+    }
+
+    /// The satellite determinism guarantee: one simulated "run" per seed,
+    /// executed under different worker counts, yields bit-identical
+    /// outputs.
+    #[test]
+    fn thread_count_never_changes_results() {
+        let seeds: Vec<u64> = (0..37).map(|i| 0x7e1e_ca57 ^ (i * 1_000_003)).collect();
+        let simulate = |seed: u64| -> Vec<u64> {
+            let mut rng = SimRng::seed_from_u64(seed);
+            (0..64).map(|_| rng.next_u64()).collect()
+        };
+        let sequential: Vec<Vec<u64>> = seeds.iter().copied().map(simulate).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let parallel = parallel_map_with(seeds.clone(), threads, simulate);
+            assert_eq!(parallel, sequential, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn caps_threads_at_item_count() {
+        // More threads than items must not deadlock or drop results.
+        let out = parallel_map_with((0..3).collect(), 16, |x: u8| x);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        parallel_map_with((0..8).collect(), 4, |x: u32| {
+            if x == 5 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -4,15 +4,14 @@
 //! samples, viewer bandwidths, view choices, arrival jitter) from a single
 //! `u64` seed, so figures can be regenerated bit-for-bit.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
 
 /// A deterministic random source seeded from a `u64`.
 ///
-/// Thin wrapper over [`rand::rngs::StdRng`] adding the handful of
-/// distributions the TeleCast workloads need (uniform, exponential, Zipf,
-/// lognormal) without pulling in `rand_distr`.
+/// A self-contained xoshiro256++ generator (seeded through splitmix64)
+/// adding the handful of distributions the TeleCast workloads need
+/// (uniform, exponential, Zipf, lognormal) without any external
+/// dependency.
 ///
 /// ```
 /// use telecast_sim::SimRng;
@@ -23,14 +22,24 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed through splitmix64, the recommended way to
+        // initialise xoshiro state (never all-zero).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
     }
 
@@ -38,13 +47,30 @@ impl SimRng {
     /// (latency, workload, arrivals) its own stream so adding draws to one
     /// does not perturb the others.
     pub fn fork(&mut self, label: u64) -> SimRng {
-        let seed = self.inner.gen::<u64>() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed_from_u64(seed)
     }
 
-    /// Next raw 64 random bits.
+    /// Next raw 64 random bits (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Uniform value in `[0, bound)` (widening-multiply reduction).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty sampling bound");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
 
     /// Uniform sample from a range, e.g. `rng.range(0..6)`.
@@ -53,12 +79,12 @@ impl SimRng {
         T: SampleUniform,
         R: SampleRange<T>,
     {
-        self.inner.gen_range(range)
+        range.sample(self)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p` of `true`.
@@ -68,7 +94,7 @@ impl SimRng {
     /// Panics if `p` is not within `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Exponential sample with the given mean (inverse-CDF method).
@@ -78,14 +104,14 @@ impl SimRng {
     /// Panics if `mean` is not positive and finite.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean.is_finite() && mean > 0.0, "invalid mean: {mean}");
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u: f64 = self.range(f64::MIN_POSITIVE..1.0);
         -mean * u.ln()
     }
 
     /// Standard normal sample (Box–Muller).
     pub fn standard_normal(&mut self) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1: f64 = self.range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.unit();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
@@ -115,7 +141,7 @@ impl SimRng {
         assert!(n > 0, "zipf over empty support");
         assert!(s.is_finite() && s >= 0.0, "invalid exponent: {s}");
         let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
-        let mut target = self.inner.gen::<f64>() * norm;
+        let mut target = self.unit() * norm;
         for k in 1..=n {
             target -= 1.0 / (k as f64).powf(s);
             if target <= 0.0 {
@@ -128,7 +154,7 @@ impl SimRng {
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.range(0..=i);
             items.swap(i, j);
         }
     }
@@ -138,24 +164,73 @@ impl SimRng {
         if items.is_empty() {
             None
         } else {
-            let i = self.inner.gen_range(0..items.len());
+            let i = self.range(0..items.len());
             Some(&items[i])
         }
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+/// Types [`SimRng::range`] can sample uniformly.
+pub trait SampleUniform: Copy {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open(rng: &mut SimRng, lo: Self, hi: Self) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive(rng: &mut SimRng, lo: Self, hi: Self) -> Self;
+}
+
+/// Range forms [`SimRng::range`] accepts (`lo..hi` and `lo..=hi`).
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample(self, rng: &mut SimRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut SimRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
     }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut SimRng) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
     }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {
+        $(
+            impl SampleUniform for $t {
+                fn sample_half_open(rng: &mut SimRng, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "empty sampling range {lo}..{hi}");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+
+                fn sample_inclusive(rng: &mut SimRng, lo: Self, hi: Self) -> Self {
+                    assert!(lo <= hi, "empty sampling range {lo}..={hi}");
+                    let span = (hi as i128 - lo as i128) as u128;
+                    if span == u128::from(u64::MAX) {
+                        return (lo as i128 + rng.next_u64() as i128) as $t;
+                    }
+                    (lo as i128 + rng.below(span as u64 + 1) as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut SimRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty sampling range {lo}..{hi}");
+        lo + rng.unit() * (hi - lo)
     }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+
+    fn sample_inclusive(rng: &mut SimRng, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "empty sampling range {lo}..={hi}");
+        lo + rng.unit() * (hi - lo)
     }
 }
 
@@ -182,6 +257,21 @@ mod tests {
         // A different label yields a different stream.
         let mut other = SimRng::seed_from_u64(5).fork(2);
         assert_ne!(fork1.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut rng = SimRng::seed_from_u64(77);
+        for _ in 0..2_000 {
+            let v: u64 = rng.range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w: i32 = rng.range(-5..5);
+            assert!((-5..5).contains(&w));
+            let x: usize = rng.range(0..=3usize);
+            assert!(x <= 3);
+            let f: f64 = rng.range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
     }
 
     #[test]
@@ -226,7 +316,10 @@ mod tests {
             counts[rng.zipf(4, 0.0)] += 1;
         }
         for &c in &counts {
-            assert!((c as f64 - 10_000.0).abs() < 600.0, "not uniform: {counts:?}");
+            assert!(
+                (c as f64 - 10_000.0).abs() < 600.0,
+                "not uniform: {counts:?}"
+            );
         }
     }
 

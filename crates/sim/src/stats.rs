@@ -280,10 +280,7 @@ impl TimeSeries {
     /// Largest recorded value, or 0 if empty; Fig. 13(a) reports the peak
     /// CDN bandwidth this way.
     pub fn peak(&self) -> f64 {
-        self.points
-            .iter()
-            .map(|&(_, v)| v)
-            .fold(0.0_f64, f64::max)
+        self.points.iter().map(|&(_, v)| v).fold(0.0_f64, f64::max)
     }
 
     /// Last recorded value, if any.

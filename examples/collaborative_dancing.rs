@@ -69,7 +69,10 @@ fn main() {
         })
         .max()
         .expect("audience has subscriptions");
-    plane.pump(&session, SimTime::ZERO + slowest + SimDuration::from_secs(3));
+    plane.pump(
+        &session,
+        SimTime::ZERO + slowest + SimDuration::from_secs(3),
+    );
     let report = plane.render_all(
         &session,
         SimTime::ZERO + slowest + SimDuration::from_secs(1),

@@ -28,10 +28,7 @@ fn run(label: &str, config: SessionConfig) {
     let m = session.metrics();
     println!("-- {label} --");
     println!("  acceptance ratio ρ : {:.3}", m.acceptance_ratio());
-    println!(
-        "  peak CDN usage     : {:.1} Mbps",
-        m.peak_cdn_mbps()
-    );
+    println!("  peak CDN usage     : {:.1} Mbps", m.peak_cdn_mbps());
     println!("  victims recovered  : {}", m.victims.value());
     println!(
         "  join delay p50/p99 : {:.0}/{:.0} ms",

@@ -11,9 +11,7 @@
 //! cargo run --release -p telecast-apps --example trace_import
 //! ```
 
-use telecast_net::{
-    DelayModel, NodeKind, NodeRegistry, Region, SyntheticPlanetLab, TraceMatrix,
-};
+use telecast_net::{DelayModel, NodeKind, NodeRegistry, Region, SyntheticPlanetLab, TraceMatrix};
 use telecast_sim::SimTime;
 
 // A miniature excerpt in the original format: "src dst rtt_ms" per line,
@@ -53,5 +51,8 @@ fn main() {
     // legs; unmeasured pairs in a real trace fall back to the median.
     let unmeasured = trace.one_way(SimTime::ZERO, ids[0], ids[0]);
     assert!(unmeasured.is_zero());
-    println!("\nRTT 0↔1 via trace: {}", trace.rtt(SimTime::ZERO, ids[0], ids[1]));
+    println!(
+        "\nRTT 0↔1 via trace: {}",
+        trace.rtt(SimTime::ZERO, ids[0], ids[1])
+    );
 }

@@ -3,9 +3,7 @@
 
 use telecast::{SessionConfig, TelecastSession, ViewerBuffer, ViewerStatus};
 use telecast_cdn::Distribution;
-use telecast_media::{
-    ProducerSite, SyntheticTeeveTrace, TeeveStreamConfig, ViewCatalog, ViewId,
-};
+use telecast_media::{ProducerSite, SyntheticTeeveTrace, TeeveStreamConfig, ViewCatalog, ViewId};
 use telecast_net::BandwidthProfile;
 use telecast_overlay::TreeParent;
 use telecast_sim::{SimDuration, SimTime};

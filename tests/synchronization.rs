@@ -8,7 +8,9 @@ use telecast_net::BandwidthProfile;
 use telecast_sim::{SimDuration, SimRng};
 
 fn joined_session(seed: u64, viewers: usize, outbound: BandwidthProfile) -> TelecastSession {
-    let config = SessionConfig::default().with_seed(seed).with_outbound(outbound);
+    let config = SessionConfig::default()
+        .with_seed(seed)
+        .with_outbound(outbound);
     let mut session = TelecastSession::builder(config).viewers(viewers).build();
     let ids = session.viewer_ids().to_vec();
     for (i, &v) in ids.iter().enumerate() {

@@ -1,0 +1,95 @@
+//! Offline stand-in for the real `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the subset of the proptest surface the workspace's property suites use:
+//!
+//! * [`proptest!`] — turns `fn name(arg in strategy, ...) { body }` items
+//!   into `#[test]` functions that run the body over many generated cases;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] — case-level assertions that
+//!   report the failing case index;
+//! * [`prop_oneof!`] — union of strategies with a common value type;
+//! * strategies for integer and float ranges, tuples, [`collection::vec`],
+//!   [`option::of`], [`arbitrary::any`], and [`strategy::Strategy::prop_map`].
+//!
+//! Unlike the real crate there is no shrinking and no persisted failure
+//! seeds; generation is **fully deterministic** (seeded from the test
+//! function's name), so a failing case reproduces on every run. The case
+//! count defaults to 64 and can be raised with `PROPTEST_CASES`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]`-able function running the body over
+/// [`test_runner::case_count`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        ::core::panic!("property failed on case {}/{}: {}", case + 1, cases, err);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Case-level assertion: fails the current generated case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Case-level equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Union of strategies producing the same value type; each generated case
+/// picks one arm uniformly at random.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed($arm)),+
+        ])
+    };
+}

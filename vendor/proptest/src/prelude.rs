@@ -1,0 +1,5 @@
+//! Everything a property-test module needs in scope.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};

@@ -1,0 +1,30 @@
+//! Offline stand-in for the real `serde`.
+//!
+//! This build environment has no registry access, so this crate keeps the
+//! workspace's `#[derive(Serialize, Deserialize)]` attributes compiling
+//! without pulling in the real framework: the traits are empty markers
+//! blanket-implemented for every type, and the derives (re-exported from
+//! the sibling `serde_derive` stub) expand to nothing.
+//!
+//! Nothing in the workspace performs serde-driven (de)serialisation today;
+//! the one JSON producer (`telecast-bench`'s figure export) writes and
+//! parses its JSON by hand. When a registry is available, point the
+//! workspace `serde` dependency back at crates.io and everything keeps
+//! compiling — the real derives simply start generating real impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the real `serde_derive`.
+//!
+//! The registry is unreachable in this build environment, so the derive
+//! macros expand to nothing: the sibling `serde` stub blanket-implements
+//! its marker traits for every type, which keeps `#[derive(Serialize,
+//! Deserialize)]` attributes (and any `T: Serialize` bounds) compiling.
+//! Code that needs actual serialisation writes it by hand — see
+//! `telecast-bench`'s `table` module for the JSON the figures export.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the trait is blanket-implemented in `serde`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the trait is blanket-implemented in `serde`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
