@@ -132,23 +132,14 @@ pub fn run_scenario(scenario: &Scenario) -> RunResult {
 pub use telecast_sim::{parallel_map, parallel_map_with};
 
 /// Builds an empirical CDF as `(value, fraction ≤ value)` points from
-/// integer-valued samples — the shape of Figures 14(a)–(c).
+/// integer-valued samples — the shape of Figures 14(a)–(c). Thin
+/// adapter over the one shared implementation in `telecast_sim::stats`.
 pub fn cdf_points(samples: &[f64]) -> Vec<(f64, f64)> {
-    if samples.is_empty() {
-        return Vec::new();
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
-    let n = sorted.len() as f64;
-    let mut points: Vec<(f64, f64)> = Vec::new();
-    for (i, v) in sorted.iter().enumerate() {
-        let frac = (i + 1) as f64 / n;
-        match points.last_mut() {
-            Some(last) if (last.0 - *v).abs() < 1e-9 => last.1 = frac,
-            _ => points.push((*v, frac)),
-        }
-    }
-    points
+    telecast_sim::empirical_cdf(samples)
+        .points()
+        .iter()
+        .map(|p| (p.value, p.fraction))
+        .collect()
 }
 
 #[cfg(test)]

@@ -38,6 +38,20 @@ pub enum OutboundPolicy {
     EqualSplit,
 }
 
+/// Which inter-node delay substrate the session simulates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DelayModelChoice {
+    /// Pick by population size: the dense synthetic matrix below
+    /// `telecast_net::COORDINATE_THRESHOLD` nodes, the O(n) coordinate
+    /// model at or above it. The default.
+    Auto,
+    /// Always the dense `SyntheticPlanetLab` matrix (O(n²) memory).
+    Dense,
+    /// Always the O(n) coordinate model — required for 10k+-viewer
+    /// sessions, where the dense tables would need gigabytes.
+    Coordinate,
+}
+
 /// Whether view groups are scoped per LSC region or session-global.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum GroupScope {
@@ -92,6 +106,8 @@ pub struct SessionConfig {
     pub adaptation_period: Option<SimDuration>,
     /// Scope of view groups.
     pub group_scope: GroupScope,
+    /// Delay substrate (dense matrix vs O(n) coordinates).
+    pub delay_model: DelayModelChoice,
     /// Master seed for all stochastic inputs.
     pub seed: u64,
 }
@@ -115,6 +131,7 @@ impl Default for SessionConfig {
             layering_enabled: true,
             adaptation_period: None,
             group_scope: GroupScope::PerLsc,
+            delay_model: DelayModelChoice::Auto,
             seed: 42,
         }
     }
@@ -169,6 +186,12 @@ impl SessionConfig {
     /// Convenience: replace the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Convenience: force a delay-model backend.
+    pub fn with_delay_model(mut self, choice: DelayModelChoice) -> Self {
+        self.delay_model = choice;
         self
     }
 }

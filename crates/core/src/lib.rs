@@ -55,7 +55,7 @@ mod session;
 mod viewer;
 
 pub use buffer::ViewerBuffer;
-pub use config::{GroupScope, OutboundPolicy, PlacementStrategy, SessionConfig};
+pub use config::{DelayModelChoice, GroupScope, OutboundPolicy, PlacementStrategy, SessionConfig};
 pub use dataplane::{DataPlane, RenderReport};
 pub use error::{RejectReason, TelecastError};
 pub use layers::LayerScheme;

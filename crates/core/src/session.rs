@@ -21,13 +21,14 @@ use std::collections::{BTreeMap, HashMap};
 use telecast_cdn::Cdn;
 use telecast_media::{PrioritizedStream, StreamId, ViewCatalog, ViewId};
 use telecast_net::{
-    Bandwidth, DelayModel, NodeId, NodeKind, NodePorts, NodeRegistry, Region, SyntheticPlanetLab,
+    Bandwidth, CoordinateDelayModel, DelayBackend, DelayModel, NodeId, NodeKind, NodePorts,
+    NodeRegistry, Region, SyntheticPlanetLab,
 };
 use telecast_overlay::{GroupTable, StreamTree, SubscriptionPoint, TreeParent};
 use telecast_sim::{Engine, SimDuration, SimRng, SimTime};
 
 use crate::alloc::{allocate_inbound, allocate_outbound, covers_all_sites};
-use crate::config::{GroupScope, PlacementStrategy, SessionConfig};
+use crate::config::{DelayModelChoice, GroupScope, PlacementStrategy, SessionConfig};
 use crate::error::TelecastError;
 use crate::layers::LayerScheme;
 use crate::metrics::SessionMetrics;
@@ -131,7 +132,16 @@ impl SessionBuilder {
             viewer_pool.push(node);
         }
 
-        let delays = SyntheticPlanetLab::generate(&registry, config.seed ^ 0x0D15_EA5E);
+        let delay_seed = config.seed ^ 0x0D15_EA5E;
+        let delays = match config.delay_model {
+            DelayModelChoice::Auto => DelayBackend::auto(&registry, delay_seed),
+            DelayModelChoice::Dense => {
+                DelayBackend::Dense(SyntheticPlanetLab::generate(&registry, delay_seed))
+            }
+            DelayModelChoice::Coordinate => {
+                DelayBackend::Coordinate(CoordinateDelayModel::generate(&registry, delay_seed))
+            }
+        };
         let scope_count = match config.group_scope {
             GroupScope::PerLsc => Region::ALL.len(),
             GroupScope::Global => 1,
@@ -169,6 +179,7 @@ impl SessionBuilder {
             metrics: SessionMetrics::new(),
             rng: workload_rng,
             adaptation_armed: false,
+            last_adaptation: None,
             config,
         }
     }
@@ -207,7 +218,7 @@ pub struct TelecastSession {
     catalog: ViewCatalog,
     scheme: LayerScheme,
     registry: NodeRegistry,
-    delays: SyntheticPlanetLab,
+    delays: DelayBackend,
     engine: Engine<SessionEvent>,
     cdn: Cdn,
     gsc_node: NodeId,
@@ -229,6 +240,9 @@ pub struct TelecastSession {
     metrics: SessionMetrics,
     rng: SimRng,
     adaptation_armed: bool,
+    /// `(virtual time, drift epoch)` of the last adaptation pass, used to
+    /// skip ticks during which no observed delay can have changed.
+    last_adaptation: Option<(SimTime, u64)>,
     monitor: GscMonitor,
 }
 
@@ -265,6 +279,12 @@ impl TelecastSession {
     /// edges, viewers).
     pub fn registry(&self) -> &NodeRegistry {
         &self.registry
+    }
+
+    /// The delay substrate the session simulates on (dense matrix for
+    /// small populations, O(n) coordinates at scale).
+    pub fn delay_backend(&self) -> &DelayBackend {
+        &self.delays
     }
 
     /// Current virtual time.
@@ -368,18 +388,45 @@ impl TelecastSession {
         }
     }
 
-    /// One §VI delay-layer adaptation pass: every connected viewer
-    /// re-derives its layers from the currently observed network delays
-    /// (which drift across trace epochs), re-bounding the view spread and
-    /// moving subscriptions up when its parents moved up.
+    /// One §VI delay-layer adaptation pass, incremental: delays only move
+    /// when the trace crosses a 15-minute drift-epoch boundary, so a tick
+    /// inside the same epoch as the previous pass is a no-op, and on a
+    /// boundary only the viewers whose *observed* delays (the one-way
+    /// legs from their viewer parents) actually changed are resynced —
+    /// instead of every connected viewer on every tick. The first pass
+    /// after arming still walks everyone, since joins may have computed
+    /// their layers in earlier epochs.
     fn periodic_adaptation(&mut self) {
-        let connected: Vec<(NodeId, ViewId, Region)> = self
-            .viewers
-            .values()
-            .filter(|v| v.status == ViewerStatus::Connected)
-            .filter_map(|v| v.view.map(|view| (v.node, view, v.region)))
-            .collect();
-        for (viewer, view, region) in connected {
+        let now = self.engine.now();
+        let epoch = telecast_net::epoch_index(now);
+        let prev = self.last_adaptation;
+        self.last_adaptation = Some((now, epoch));
+        let seeds: Vec<(NodeId, ViewId, Region)> = match prev {
+            Some((_, prev_epoch)) if prev_epoch == epoch => Vec::new(),
+            Some((prev_at, _)) => self
+                .viewers
+                .values()
+                .filter(|v| v.status == ViewerStatus::Connected)
+                .filter_map(|v| v.view.map(|view| (v, view)))
+                .filter(|(v, _)| {
+                    v.subs.values().any(|sub| match sub.parent {
+                        TreeParent::Viewer(p) => {
+                            self.delays.one_way(now, p, v.node)
+                                != self.delays.one_way(prev_at, p, v.node)
+                        }
+                        TreeParent::Cdn => false,
+                    })
+                })
+                .map(|(v, view)| (v.node, view, v.region))
+                .collect(),
+            None => self
+                .viewers
+                .values()
+                .filter(|v| v.status == ViewerStatus::Connected)
+                .filter_map(|v| v.view.map(|view| (v.node, view, v.region)))
+                .collect(),
+        };
+        for (viewer, view, region) in seeds {
             let scope = self.scope_of(region);
             self.propagate_resync(view, scope, vec![viewer]);
         }

@@ -1,0 +1,77 @@
+//! Scale regressions: large sessions must build on the O(n) delay
+//! substrate (never materialising an n² matrix) and stay seed-exact.
+
+use telecast::{DelayModelChoice, SessionConfig, TelecastSession};
+use telecast_media::{ArrivalModel, ViewChoice, ViewerWorkload};
+use telecast_net::BandwidthProfile;
+use telecast_sim::SimRng;
+
+/// 10,000 viewers: the dense backend would allocate ≈ 3.2 GB of delay
+/// tables before the first event fires. Auto selection must pick the
+/// O(n) coordinate model and build the session outright.
+#[test]
+fn ten_thousand_viewer_session_builds_on_coordinates() {
+    let session = TelecastSession::builder(SessionConfig::default().with_seed(11))
+        .viewers(10_000)
+        .build();
+    assert!(
+        session.delay_backend().is_coordinate(),
+        "auto backend selection kept the dense matrix at 10k viewers"
+    );
+    assert_eq!(session.viewer_ids().len(), 10_000);
+    // Every node (viewers + producers/controllers/edges) is covered.
+    assert_eq!(session.delay_backend().len(), session.registry().len());
+}
+
+/// Small sessions keep the dense matrix under auto selection, and the
+/// config can force either backend.
+#[test]
+fn backend_selection_respects_config() {
+    let small = TelecastSession::builder(SessionConfig::default())
+        .viewers(50)
+        .build();
+    assert_eq!(small.delay_backend().kind(), "dense");
+
+    let forced = TelecastSession::builder(
+        SessionConfig::default().with_delay_model(DelayModelChoice::Coordinate),
+    )
+    .viewers(50)
+    .build();
+    assert_eq!(forced.delay_backend().kind(), "coordinate");
+
+    let dense = TelecastSession::builder(
+        SessionConfig::default().with_delay_model(DelayModelChoice::Dense),
+    )
+    .viewers(50)
+    .build();
+    assert_eq!(dense.delay_backend().kind(), "dense");
+}
+
+/// Identical seeds on the coordinate backend reproduce identical
+/// metrics — the same determinism contract the dense backend honours.
+#[test]
+fn coordinate_backend_is_seed_deterministic() {
+    let run = || {
+        let config = SessionConfig::default()
+            .with_outbound(BandwidthProfile::uniform_mbps(0, 12))
+            .with_delay_model(DelayModelChoice::Coordinate)
+            .with_seed(23);
+        let mut session = TelecastSession::builder(config).viewers(120).build();
+        let mut rng = SimRng::seed_from_u64(9);
+        let wl = ViewerWorkload::builder(120, session.catalog().len())
+            .arrivals(ArrivalModel::Flash)
+            .view_choice(ViewChoice::Zipf { s: 0.8 })
+            .build(&mut rng);
+        session.run_workload(&wl);
+        (
+            session.metrics().admitted_viewers.value(),
+            session.metrics().subscription_messages.value(),
+            session.metrics().displacements.value(),
+            session.cdn().outbound().used().as_kbps(),
+            session.layer_snapshot().iter().sum::<u64>(),
+        )
+    };
+    let a = run();
+    assert_eq!(a, run());
+    assert!(a.0 > 0, "flash crowd admitted nobody");
+}

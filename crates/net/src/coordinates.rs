@@ -1,0 +1,336 @@
+//! O(n)-memory synthetic network coordinates.
+//!
+//! [`SyntheticPlanetLab`](crate::SyntheticPlanetLab) materialises an
+//! `EPOCHS × n × n` drift table plus an `n × n` base matrix — about
+//! 3.2 GB at n = 10,000 — which caps sessions at a few hundred viewers.
+//! [`CoordinateDelayModel`] keeps only **one coordinate per node** (its
+//! region plus a 64-bit scatter key sampled at generation time) and
+//! derives every pairwise quantity on demand by hashing the two
+//! coordinates (and, for drift, the epoch) with the session seed through
+//! a splitmix64 finaliser. Memory is O(n); a lookup is a handful of
+//! integer mixes.
+//!
+//! The derived delays follow the *same distributions* as the dense
+//! generator — intra-region `U(5, 40)` ms, inter-region
+//! `base × U(0.65, 1.35)`, per-ordered-pair per-epoch drift of
+//! `U(900, 1200)` per-mille over sixteen 15-minute epochs — so the two
+//! backends are statistically interchangeable (a property test asserts
+//! the parity). Individual pair values differ between backends; only the
+//! population statistics match.
+
+use serde::{Deserialize, Serialize};
+use telecast_sim::{SimDuration, SimRng, SimTime};
+
+use crate::node::{NodeId, NodeRegistry};
+use crate::planetlab::{DelayModel, SyntheticPlanetLab, EPOCH, EPOCHS};
+use crate::region::Region;
+
+/// One node's synthetic network coordinate: its continental cluster plus
+/// a scatter key standing in for its position inside the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct NodeCoordinate {
+    region: Region,
+    key: u64,
+}
+
+/// A pairwise delay model with O(n) memory: per-node coordinates sampled
+/// by region, pairwise base delays and epoch drift derived by hashing.
+///
+/// ```
+/// use telecast_net::{CoordinateDelayModel, DelayModel, NodeKind, NodeRegistry, Region};
+/// use telecast_sim::SimTime;
+///
+/// let mut nodes = NodeRegistry::new();
+/// let a = nodes.add(NodeKind::Viewer, Region::NorthAmerica);
+/// let b = nodes.add(NodeKind::Viewer, Region::Europe);
+/// let delays = CoordinateDelayModel::generate(&nodes, 42);
+/// assert!(delays.one_way(SimTime::ZERO, a, b).as_millis() >= 20);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoordinateDelayModel {
+    seed: u64,
+    coords: Vec<NodeCoordinate>,
+}
+
+/// splitmix64 finaliser: a full-avalanche mix of one word.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Combines words into one hash by chaining the finaliser.
+#[inline]
+fn mix_words(words: [u64; 3]) -> u64 {
+    let mut h = 0x243f_6a88_85a3_08d3; // pi digits, arbitrary non-zero
+    for w in words {
+        h = mix(h ^ w);
+    }
+    h
+}
+
+/// Hash → uniform float in `[0, 1)`, matching `SimRng::unit`'s precision.
+#[inline]
+fn unit_from(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl CoordinateDelayModel {
+    /// Samples one coordinate per node currently in `nodes`. The same
+    /// `(registry regions, seed)` reproduce identical delays.
+    pub fn generate(nodes: &NodeRegistry, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x434f_4f52_4449_4e41); // "COORDINA"
+        let coords = nodes
+            .iter()
+            .map(|info| NodeCoordinate {
+                region: info.region,
+                key: rng.next_u64(),
+            })
+            .collect();
+        CoordinateDelayModel { seed, coords }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the model covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Base one-way delay in µs for the unordered pair `(i, j)`, i ≠ j.
+    fn base_us(&self, i: usize, j: usize) -> u64 {
+        // Symmetric in (i, j): hash the ordered-by-index coordinates.
+        let (a, b) = if i <= j { (i, j) } else { (j, i) };
+        let (ca, cb) = (self.coords[a], self.coords[b]);
+        let h = mix_words([self.seed, ca.key, cb.key]);
+        let u = unit_from(h);
+        let ms = if ca.region == cb.region {
+            5.0 + u * 35.0 // U(5, 40) ms intra-cluster spread
+        } else {
+            ca.region.base_delay_ms(cb.region) * (0.65 + u * 0.70) // ±35% route spread
+        };
+        (ms * 1_000.0) as u64
+    }
+
+    /// Per-ordered-pair drift multiplier in per-mille for `epoch`,
+    /// uniform over `[900, 1200)` like the dense generator's table.
+    fn drift_pm(&self, i: usize, j: usize, epoch: usize) -> u64 {
+        let h = mix_words([
+            self.seed ^ (epoch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            self.coords[i].key,
+            self.coords[j].key.rotate_left(17),
+        ]);
+        900 + ((u128::from(h) * 300) >> 64) as u64
+    }
+}
+
+impl DelayModel for CoordinateDelayModel {
+    fn one_way(&self, at: SimTime, from: NodeId, to: NodeId) -> SimDuration {
+        let (i, j) = (from.index(), to.index());
+        assert!(
+            i < self.coords.len() && j < self.coords.len(),
+            "node outside coordinate set"
+        );
+        if i == j {
+            return SimDuration::ZERO;
+        }
+        let epoch = epoch_index(at) as usize % EPOCHS;
+        SimDuration::from_micros(self.base_us(i, j) * self.drift_pm(i, j, epoch) / 1_000)
+    }
+}
+
+/// Number of drift epochs elapsed at `at` (15-minute granularity, the
+/// shared geometry of both synthetic backends). Delays are constant
+/// between consecutive indices, which is what lets the session's
+/// periodic adaptation skip ticks that cross no epoch boundary.
+pub fn epoch_index(at: SimTime) -> u64 {
+    (at - SimTime::ZERO) / EPOCH
+}
+
+/// Node-count threshold above which [`DelayBackend::auto`] switches from
+/// the dense matrix to coordinates. At 1,024 nodes the dense tables cost
+/// ≈ 42 MB and climb quadratically; coordinates stay at 16 B per node.
+pub const COORDINATE_THRESHOLD: usize = 1_024;
+
+/// The delay substrate of a session: either the dense synthetic matrix
+/// (exact per-pair tables, O(n²) memory — right for small populations and
+/// drop-in trace replacement) or the O(n) coordinate model for large
+/// populations.
+#[derive(Debug, Clone)]
+pub enum DelayBackend {
+    /// Dense `SyntheticPlanetLab` matrix.
+    Dense(SyntheticPlanetLab),
+    /// O(n) coordinate model.
+    Coordinate(CoordinateDelayModel),
+}
+
+impl DelayBackend {
+    /// Picks a backend by population size: dense below
+    /// [`COORDINATE_THRESHOLD`] nodes, coordinates at or above it.
+    pub fn auto(nodes: &NodeRegistry, seed: u64) -> Self {
+        if nodes.len() >= COORDINATE_THRESHOLD {
+            DelayBackend::Coordinate(CoordinateDelayModel::generate(nodes, seed))
+        } else {
+            DelayBackend::Dense(SyntheticPlanetLab::generate(nodes, seed))
+        }
+    }
+
+    /// Whether the O(n) coordinate model is active.
+    pub fn is_coordinate(&self) -> bool {
+        matches!(self, DelayBackend::Coordinate(_))
+    }
+
+    /// Short backend name for logs and scenario banners.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DelayBackend::Dense(_) => "dense",
+            DelayBackend::Coordinate(_) => "coordinate",
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        match self {
+            DelayBackend::Dense(m) => m.len(),
+            DelayBackend::Coordinate(m) => m.len(),
+        }
+    }
+
+    /// Whether the backend covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl DelayModel for DelayBackend {
+    fn one_way(&self, at: SimTime, from: NodeId, to: NodeId) -> SimDuration {
+        match self {
+            DelayBackend::Dense(m) => m.one_way(at, from, to),
+            DelayBackend::Coordinate(m) => m.one_way(at, from, to),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    fn registry(n: usize) -> NodeRegistry {
+        let mut reg = NodeRegistry::new();
+        for i in 0..n {
+            let region = Region::ALL[i % Region::ALL.len()];
+            reg.add(NodeKind::Viewer, region);
+        }
+        reg
+    }
+
+    #[test]
+    fn self_delay_is_zero() {
+        let reg = registry(4);
+        let m = CoordinateDelayModel::generate(&reg, 1);
+        let id = reg.iter().next().unwrap().id;
+        assert_eq!(m.one_way(SimTime::ZERO, id, id), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let reg = registry(12);
+        let a = CoordinateDelayModel::generate(&reg, 7);
+        let b = CoordinateDelayModel::generate(&reg, 7);
+        let ids: Vec<_> = reg.iter().map(|n| n.id).collect();
+        for &x in &ids {
+            for &y in &ids {
+                assert_eq!(
+                    a.one_way(SimTime::ZERO, x, y),
+                    b.one_way(SimTime::ZERO, x, y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let reg = registry(12);
+        let a = CoordinateDelayModel::generate(&reg, 7);
+        let b = CoordinateDelayModel::generate(&reg, 8);
+        let ids: Vec<_> = reg.iter().map(|n| n.id).collect();
+        let same = ids
+            .iter()
+            .flat_map(|&x| ids.iter().map(move |&y| (x, y)))
+            .all(|(x, y)| a.one_way(SimTime::ZERO, x, y) == b.one_way(SimTime::ZERO, x, y));
+        assert!(!same, "different seeds produced identical delays");
+    }
+
+    #[test]
+    fn base_is_symmetric_and_in_range() {
+        let reg = registry(40);
+        let m = CoordinateDelayModel::generate(&reg, 3);
+        for i in 0..40 {
+            for j in (i + 1)..40 {
+                assert_eq!(m.base_us(i, j), m.base_us(j, i));
+                let ms = m.base_us(i, j) as f64 / 1_000.0;
+                assert!(
+                    (4.0..=203.0).contains(&ms),
+                    "base {ms} ms outside plausible range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drift_changes_across_epochs() {
+        let reg = registry(6);
+        let m = CoordinateDelayModel::generate(&reg, 9);
+        let ids: Vec<_> = reg.iter().map(|n| n.id).collect();
+        let t0 = SimTime::ZERO;
+        let t1 = SimTime::from_secs(16 * 60); // second epoch
+        let changed = ids
+            .iter()
+            .flat_map(|&x| ids.iter().map(move |&y| (x, y)))
+            .filter(|&(x, y)| x != y)
+            .any(|(x, y)| m.one_way(t0, x, y) != m.one_way(t1, x, y));
+        assert!(changed, "no pair drifted between epochs");
+    }
+
+    #[test]
+    fn epoch_index_has_quarter_hour_granularity() {
+        assert_eq!(epoch_index(SimTime::ZERO), 0);
+        assert_eq!(epoch_index(SimTime::from_secs(15 * 60 - 1)), 0);
+        assert_eq!(epoch_index(SimTime::from_secs(15 * 60)), 1);
+        assert_eq!(epoch_index(SimTime::from_secs(4 * 3600)), 16);
+    }
+
+    #[test]
+    fn auto_selects_by_population() {
+        let small = registry(16);
+        assert!(!DelayBackend::auto(&small, 1).is_coordinate());
+        assert_eq!(DelayBackend::auto(&small, 1).kind(), "dense");
+        let large = registry(COORDINATE_THRESHOLD);
+        let backend = DelayBackend::auto(&large, 1);
+        assert!(backend.is_coordinate());
+        assert_eq!(backend.kind(), "coordinate");
+        assert_eq!(backend.len(), COORDINATE_THRESHOLD);
+    }
+
+    #[test]
+    fn memory_is_linear_in_nodes() {
+        // 10,000 nodes: the dense backend would need ≈ 3.2 GB of tables;
+        // the coordinate model carries one 16-byte coordinate per node.
+        let reg = registry(10_000);
+        let m = CoordinateDelayModel::generate(&reg, 5);
+        assert_eq!(m.len(), 10_000);
+        assert_eq!(
+            std::mem::size_of::<NodeCoordinate>() * m.coords.len(),
+            16 * 10_000
+        );
+        let ids: Vec<_> = reg.iter().map(|n| n.id).collect();
+        let d = m.one_way(SimTime::ZERO, ids[0], ids[9_999]);
+        assert!(d > SimDuration::ZERO);
+    }
+}

@@ -7,8 +7,10 @@
 //! * a **node registry** with geographic regions (the basis for LSC
 //!   clustering),
 //! * a **pairwise delay model** shaped like the 4-hour PlanetLab ping
-//!   traces the paper replays (substituted by a synthetic generator, see
-//!   `DESIGN.md` §4, plus a loader for the original text format),
+//!   traces the paper replays — a dense synthetic matrix for small
+//!   populations (see `DESIGN.md` §4), an O(n)-memory coordinate model
+//!   for 10k+-viewer sessions ([`DelayBackend`] picks one by population
+//!   size), plus a loader for the original trace text format,
 //! * **bandwidth capacity accounting** for viewer inbound/outbound ports
 //!   and the CDN pool,
 //! * a **link transfer model** for frame-sized payloads.
@@ -29,6 +31,7 @@
 //! ```
 
 mod bandwidth;
+mod coordinates;
 mod link;
 mod node;
 mod planetlab;
@@ -37,6 +40,7 @@ mod region;
 pub use bandwidth::{
     Bandwidth, BandwidthProfile, CapacityAccount, InsufficientBandwidthError, NodePorts,
 };
+pub use coordinates::{epoch_index, CoordinateDelayModel, DelayBackend, COORDINATE_THRESHOLD};
 pub use link::transfer_time;
 pub use node::{NodeId, NodeInfo, NodeKind, NodeRegistry};
 pub use planetlab::{DelayModel, FixedDelay, SyntheticPlanetLab, TraceMatrix, TraceParseError};

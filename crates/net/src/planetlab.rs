@@ -43,10 +43,11 @@ impl DelayModel for FixedDelay {
     }
 }
 
-/// Duration of one synthetic trace epoch (the drift granularity).
-const EPOCH: SimDuration = SimDuration::from_secs(15 * 60);
+/// Duration of one synthetic trace epoch (the drift granularity), shared
+/// with the O(n) coordinate backend so both agree on when delays move.
+pub(crate) const EPOCH: SimDuration = SimDuration::from_secs(15 * 60);
 /// Number of epochs covering the 4-hour PlanetLab horizon.
-const EPOCHS: usize = 16;
+pub(crate) const EPOCHS: usize = 16;
 
 /// Synthetic PlanetLab-style delay matrix (see `DESIGN.md` §4).
 ///

@@ -4,9 +4,18 @@
 
 use proptest::prelude::*;
 use telecast_net::{
-    Bandwidth, CapacityAccount, DelayModel, NodeKind, NodeRegistry, Region, SyntheticPlanetLab,
+    Bandwidth, CapacityAccount, CoordinateDelayModel, DelayModel, NodeKind, NodeRegistry, Region,
+    SyntheticPlanetLab,
 };
-use telecast_sim::{SimDuration, SimTime};
+use telecast_sim::{parallel_map_with, SimDuration, SimTime};
+
+fn mixed_registry(n: usize) -> NodeRegistry {
+    let mut reg = NodeRegistry::new();
+    for i in 0..n {
+        reg.add(NodeKind::Viewer, Region::ALL[i % Region::ALL.len()]);
+    }
+    reg
+}
 
 proptest! {
     /// Any interleaving of successful reserves and releases keeps
@@ -62,5 +71,83 @@ proptest! {
     fn out_degree_is_floor(obw in 0u64..100_000, bw in 1u64..10_000) {
         let deg = Bandwidth::from_kbps(obw) / Bandwidth::from_kbps(bw);
         prop_assert_eq!(deg, obw / bw);
+    }
+
+    /// The coordinate model is well-formed for any seed: zero self-delay
+    /// and positive, PlanetLab-plausible pair delays. (Base delays are
+    /// symmetric; the full one-way value is not, since drift is sampled
+    /// per ordered pair like real asymmetric routes.)
+    #[test]
+    fn coordinate_delays_well_formed(n in 2usize..40, seed in any::<u64>()) {
+        let reg = mixed_registry(n);
+        let m = CoordinateDelayModel::generate(&reg, seed);
+        let ids: Vec<_> = reg.iter().map(|info| info.id).collect();
+        for &a in &ids {
+            prop_assert_eq!(m.one_way(SimTime::ZERO, a, a), SimDuration::ZERO);
+            for &b in &ids {
+                if a == b { continue; }
+                let d = m.one_way(SimTime::ZERO, a, b);
+                prop_assert!(d > SimDuration::ZERO);
+                prop_assert!(d < SimDuration::from_millis(400));
+            }
+        }
+    }
+
+    /// Coordinate lookups are pure: fanning the same pair set over any
+    /// worker count produces bit-identical delays (the model is shared by
+    /// reference across the `parallel_map` workers).
+    #[test]
+    fn coordinate_delays_deterministic_across_workers(seed in any::<u64>()) {
+        let reg = mixed_registry(24);
+        let m = CoordinateDelayModel::generate(&reg, seed);
+        let ids: Vec<_> = reg.iter().map(|info| info.id).collect();
+        let pairs: Vec<_> = ids
+            .iter()
+            .flat_map(|&a| ids.iter().map(move |&b| (a, b)))
+            .collect();
+        let at = SimTime::from_secs(20 * 60); // second drift epoch
+        let baseline: Vec<SimDuration> = pairs
+            .iter()
+            .map(|&(a, b)| m.one_way(at, a, b))
+            .collect();
+        for workers in [1usize, 2, 7] {
+            let out = parallel_map_with(pairs.clone(), workers, |(a, b)| m.one_way(at, a, b));
+            prop_assert_eq!(&out, &baseline, "worker count {} diverged", workers);
+        }
+    }
+}
+
+/// Dense-vs-coordinate parity: both backends draw pair delays from the
+/// same distribution families, so over a few thousand pairs their mean
+/// and median must agree within a few percent (they are *not* pairwise
+/// equal — the test compares population statistics).
+#[test]
+fn dense_and_coordinate_backends_agree_on_distribution() {
+    let reg = mixed_registry(120);
+    let ids: Vec<_> = reg.iter().map(|info| info.id).collect();
+    let dense = SyntheticPlanetLab::generate(&reg, 1234);
+    let coord = CoordinateDelayModel::generate(&reg, 1234);
+    let collect = |m: &dyn DelayModel| -> Vec<f64> {
+        let mut out = Vec::new();
+        for &a in &ids {
+            for &b in &ids {
+                if a != b {
+                    out.push(m.one_way(SimTime::ZERO, a, b).as_micros() as f64);
+                }
+            }
+        }
+        out.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        out
+    };
+    let (d, c) = (collect(&dense), collect(&coord));
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (dm, cm) = (mean(&d), mean(&c));
+    let rel = (dm - cm).abs() / dm;
+    assert!(rel < 0.05, "means diverge: dense {dm} vs coordinate {cm}");
+    for q in [0.25, 0.5, 0.75, 0.9] {
+        let idx = (q * (d.len() - 1) as f64) as usize;
+        let (dq, cq) = (d[idx], c[idx]);
+        let rel = (dq - cq).abs() / dq;
+        assert!(rel < 0.10, "q{q} diverges: dense {dq} vs coordinate {cq}");
     }
 }

@@ -59,6 +59,15 @@ pub struct StreamTree {
     stream: StreamId,
     nodes: HashMap<NodeId, TreeNode>,
     cdn_children: BTreeSet<NodeId>,
+    /// Members with at least one free forwarding slot, maintained on
+    /// every attach/detach/remove so the per-join supply checks are
+    /// O(log n) lookups instead of full scans.
+    free_slots: BTreeSet<NodeId>,
+    /// Every member keyed by ascending `(out_degree, C_obw, id)`; the
+    /// first entry is the weakest member, which bounds what a joiner can
+    /// displace and lets a saturated tree reject weak joiners in
+    /// O(log n).
+    strengths: BTreeSet<(u32, Bandwidth, NodeId)>,
 }
 
 impl StreamTree {
@@ -68,6 +77,8 @@ impl StreamTree {
             stream,
             nodes: HashMap::new(),
             cdn_children: BTreeSet::new(),
+            free_slots: BTreeSet::new(),
+            strengths: BTreeSet::new(),
         }
     }
 
@@ -144,6 +155,33 @@ impl StreamTree {
         self.nodes.keys().copied()
     }
 
+    /// Re-derives `viewer`'s free-slot index entry from its current
+    /// child count; call after any change to its children.
+    fn refresh_slot(&mut self, viewer: NodeId) {
+        let has_free = self
+            .nodes
+            .get(&viewer)
+            .map(|n| (n.children.len() as u32) < n.out_degree)
+            .unwrap_or(false);
+        if has_free {
+            self.free_slots.insert(viewer);
+        } else {
+            self.free_slots.remove(&viewer);
+        }
+    }
+
+    /// Whether a joiner of `(deg, cap)` is lexicographically stronger
+    /// than the weakest member other than `exclude` — the necessary
+    /// condition for any displacement to exist. O(1) for `exclude =
+    /// None` (first index entry), O(log n)-ish otherwise.
+    fn beats_weakest(&self, deg: u32, cap: Bandwidth, exclude: Option<NodeId>) -> bool {
+        self.strengths
+            .iter()
+            .find(|&&(_, _, id)| Some(id) != exclude)
+            .map(|&(d, c, _)| deg > d || (deg == d && cap > c))
+            .unwrap_or(false)
+    }
+
     /// **Algorithm 1 (degree push-down).** Tries to place `viewer` (with
     /// per-stream out-degree `out_degree` and total outbound capacity
     /// `outbound_capacity`) among the current members.
@@ -166,6 +204,15 @@ impl StreamTree {
             "viewer {viewer} already in tree for {}",
             self.stream
         );
+        // Saturated fast path: with no free slot anywhere and no member
+        // weaker than the joiner, the scan below can only fail — answer
+        // in O(log n) instead of walking the whole tree. (A zero-degree
+        // joiner cannot displace at all; see the rule below.)
+        if self.free_slots.is_empty()
+            && !(out_degree > 0 && self.beats_weakest(out_degree, outbound_capacity, None))
+        {
+            return None;
+        }
         // BFS level by level; per level, ascending (out_degree, C_obw) so
         // the weakest position is displaced first and virtual free slots
         // (deg −1) are preferred over displacement.
@@ -270,24 +317,18 @@ impl StreamTree {
     }
 
     /// The first member (in id order) with a free forwarding slot — the
-    /// first-fit baseline's parent choice.
+    /// first-fit baseline's parent choice. O(log n) via the maintained
+    /// free-slot index (it is ordered by id, so the first entry is the
+    /// minimum).
     pub fn first_free_slot_holder(&self) -> Option<NodeId> {
-        let mut candidates: Vec<NodeId> = self
-            .nodes
-            .iter()
-            .filter(|(_, n)| (n.children.len() as u32) < n.out_degree)
-            .map(|(&id, _)| id)
-            .collect();
-        candidates.sort_unstable();
-        candidates.first().copied()
+        self.free_slots.first().copied()
     }
 
     /// Whether any member has a free forwarding slot — the P2P-supply
-    /// check of the inbound allocation's condition (2).
+    /// check of the inbound allocation's condition (2). O(1) via the
+    /// maintained free-slot index.
     pub fn has_free_slot(&self) -> bool {
-        self.nodes
-            .values()
-            .any(|n| (n.children.len() as u32) < n.out_degree)
+        !self.free_slots.is_empty()
     }
 
     /// Re-runs degree push-down for an *existing* member (a victim parked
@@ -317,6 +358,17 @@ impl StreamTree {
                 (n.children.len() as u32) < n.out_degree,
             )
         };
+        // Saturated fast path: if the only free slot anywhere is the
+        // viewer's own (it cannot be its own parent) and displacement is
+        // ruled out — no spare slot to serve a displaced child from, or
+        // every other member outranks us — the scan below must fail.
+        // (Conservative: free slots inside the viewer's unreachable
+        // subtree fall through to the scan, which handles them.)
+        let only_own_slot = self.free_slots.iter().all(|&id| id == viewer);
+        if only_own_slot && !(has_spare_slot && self.beats_weakest(deg, cap, Some(viewer))) {
+            self.cdn_children.insert(viewer);
+            return None;
+        }
 
         #[derive(Clone, Copy)]
         enum Slot {
@@ -347,6 +399,7 @@ impl StreamTree {
                             .insert(viewer);
                         self.nodes.get_mut(&viewer).expect("member").parent =
                             TreeParent::Viewer(under);
+                        self.refresh_slot(under);
                         return Some(TreeParent::Viewer(under));
                     }
                     Slot::Occupied(z) => {
@@ -375,6 +428,9 @@ impl StreamTree {
                             let vnode = self.nodes.get_mut(&viewer).expect("member");
                             vnode.parent = old_parent;
                             vnode.children.insert(z);
+                            // z's old parent swapped z for the viewer
+                            // (count unchanged); the viewer gained z.
+                            self.refresh_slot(viewer);
                             return Some(old_parent);
                         }
                         for &child in &self.nodes[&z].children {
@@ -427,6 +483,12 @@ impl StreamTree {
                 children: BTreeSet::new(),
             },
         );
+        self.strengths
+            .insert((out_degree, outbound_capacity, viewer));
+        self.refresh_slot(viewer);
+        if let TreeParent::Viewer(p) = parent {
+            self.refresh_slot(p);
+        }
     }
 
     /// Replaces `z` by `viewer`: `viewer` takes `z`'s position, `z`
@@ -460,6 +522,11 @@ impl StreamTree {
                 children: BTreeSet::from([z]),
             },
         );
+        // z swapped places with the joiner, so its old parent's child
+        // count (and z's own) are unchanged; only the joiner is new.
+        self.strengths
+            .insert((out_degree, outbound_capacity, viewer));
+        self.refresh_slot(viewer);
     }
 
     /// Removes `viewer` from the tree. Its direct children become
@@ -475,6 +542,9 @@ impl StreamTree {
             .nodes
             .remove(&viewer)
             .expect("removing a viewer that is not a tree member");
+        self.strengths
+            .remove(&(node.out_degree, node.outbound_capacity, viewer));
+        self.free_slots.remove(&viewer);
         match node.parent {
             TreeParent::Cdn => {
                 self.cdn_children.remove(&viewer);
@@ -483,6 +553,7 @@ impl StreamTree {
                 if let Some(pnode) = self.nodes.get_mut(&p) {
                     pnode.children.remove(&viewer);
                 }
+                self.refresh_slot(p);
             }
         }
         let victims: Vec<NodeId> = node.children.iter().copied().collect();
@@ -509,6 +580,7 @@ impl StreamTree {
             if let Some(pnode) = self.nodes.get_mut(&p) {
                 pnode.children.remove(&viewer);
             }
+            self.refresh_slot(p);
         }
         self.nodes
             .get_mut(&viewer)
@@ -517,23 +589,32 @@ impl StreamTree {
         self.cdn_children.insert(viewer);
     }
 
-    /// Shape statistics.
+    /// Shape statistics. One root-down traversal computes every depth
+    /// (O(n)), instead of walking each member's parent chain to the root
+    /// (O(n·depth)).
     pub fn metrics(&self) -> TreeMetrics {
         let mut max_depth = 0usize;
         let mut total_depth = 0usize;
-        for &v in self.nodes.keys() {
-            let d = self.depth_of(v).expect("member has a depth");
-            max_depth = max_depth.max(d);
-            total_depth += d;
+        let mut visited = 0usize;
+        let mut stack: Vec<(NodeId, usize)> =
+            self.cdn_children.iter().map(|&c| (c, 0usize)).collect();
+        while let Some((v, depth)) = stack.pop() {
+            visited += 1;
+            max_depth = max_depth.max(depth);
+            total_depth += depth;
+            for &child in &self.nodes[&v].children {
+                stack.push((child, depth + 1));
+            }
         }
+        debug_assert_eq!(visited, self.nodes.len(), "unreachable members");
         TreeMetrics {
             members: self.nodes.len(),
             cdn_children: self.cdn_children.len(),
             max_depth,
-            mean_depth: if self.nodes.is_empty() {
+            mean_depth: if visited == 0 {
                 0.0
             } else {
-                total_depth as f64 / self.nodes.len() as f64
+                total_depth as f64 / visited as f64
             },
         }
     }
@@ -582,6 +663,27 @@ impl StreamTree {
                 "{} members unreachable from the CDN root",
                 self.nodes.len() - reachable.len()
             ));
+        }
+        // The maintained indexes must match a from-scratch recomputation.
+        let expected_free: BTreeSet<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| (n.children.len() as u32) < n.out_degree)
+            .map(|(&id, _)| id)
+            .collect();
+        if self.free_slots != expected_free {
+            return Err(format!(
+                "free-slot index out of sync: {:?} vs {:?}",
+                self.free_slots, expected_free
+            ));
+        }
+        let expected_strengths: BTreeSet<(u32, Bandwidth, NodeId)> = self
+            .nodes
+            .iter()
+            .map(|(&id, n)| (n.out_degree, n.outbound_capacity, id))
+            .collect();
+        if self.strengths != expected_strengths {
+            return Err("strength index out of sync with members".into());
         }
         Ok(())
     }

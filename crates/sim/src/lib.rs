@@ -34,5 +34,5 @@ mod time;
 pub use engine::{Engine, EventId, Fired};
 pub use parallel::{default_parallelism, parallel_map, parallel_map_with};
 pub use rng::{SampleRange, SampleUniform, SimRng};
-pub use stats::{Cdf, CdfPoint, Counter, Histogram, Summary, TimeSeries};
+pub use stats::{empirical_cdf, Cdf, CdfPoint, Counter, Histogram, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};

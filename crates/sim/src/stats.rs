@@ -5,6 +5,8 @@
 //! [`Histogram`] (with percentiles and [`Summary`]), [`Cdf`] and
 //! [`TimeSeries`].
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 use crate::time::SimTime;
@@ -114,16 +116,62 @@ impl Cdf {
     pub fn points(&self) -> &[CdfPoint] {
         &self.points
     }
+
+    /// Builds a CDF from already-sorted samples — the one shared
+    /// implementation behind [`Histogram::cdf`] and [`empirical_cdf`]
+    /// (the clone-and-sort used to be triplicated across the harness).
+    pub fn from_sorted(sorted: &[f64]) -> Cdf {
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "samples must be sorted ascending"
+        );
+        let n = sorted.len() as f64;
+        let mut points: Vec<CdfPoint> = Vec::new();
+        for (i, v) in sorted.iter().enumerate() {
+            let fraction = (i + 1) as f64 / n;
+            match points.last_mut() {
+                Some(last) if last.value == *v => last.fraction = fraction,
+                _ => points.push(CdfPoint {
+                    value: *v,
+                    fraction,
+                }),
+            }
+        }
+        Cdf { points }
+    }
+}
+
+/// Builds the empirical CDF of arbitrary (unsorted) samples.
+///
+/// # Panics
+///
+/// Panics if any sample is NaN.
+pub fn empirical_cdf(samples: &[f64]) -> Cdf {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in CDF input"));
+    Cdf::from_sorted(&sorted)
 }
 
 /// An unbounded sample collector with exact percentiles.
 ///
 /// Samples are kept raw (the experiments collect at most a few hundred
 /// thousand points), so percentiles and CDFs are exact rather than
-/// bucketed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+/// bucketed. The sorted order is computed lazily and cached, so repeated
+/// `percentile()`/`summary()`/`cdf()` calls cost O(1)/O(n) instead of
+/// re-sorting O(n log n) each time; recording a sample invalidates the
+/// cache.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct Histogram {
     samples: Vec<f64>,
+    /// Lazily-built ascending copy of `samples`.
+    sorted: OnceLock<Vec<f64>>,
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        // The cache is derived state; equality is over the samples.
+        self.samples == other.samples
+    }
 }
 
 impl Histogram {
@@ -140,6 +188,7 @@ impl Histogram {
     pub fn record(&mut self, value: f64) {
         assert!(!value.is_nan(), "cannot record NaN");
         self.samples.push(value);
+        self.sorted.take();
     }
 
     /// Number of samples recorded.
@@ -172,24 +221,25 @@ impl Histogram {
         if self.samples.is_empty() {
             return None;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        let sorted = self.sorted_samples();
         let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
         Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
     }
 
+    /// The samples in ascending order (cached after the first call).
+    pub fn sorted_samples(&self) -> &[f64] {
+        self.sorted.get_or_init(|| {
+            let mut sorted = self.samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            sorted
+        })
+    }
+
     /// Five-number summary.
     pub fn summary(&self) -> Summary {
-        let (min, max) = if self.samples.is_empty() {
-            (0.0, 0.0)
-        } else {
-            (
-                self.samples.iter().copied().fold(f64::INFINITY, f64::min),
-                self.samples
-                    .iter()
-                    .copied()
-                    .fold(f64::NEG_INFINITY, f64::max),
-            )
+        let (min, max) = match self.sorted_samples() {
+            [] => (0.0, 0.0),
+            sorted => (sorted[0], sorted[sorted.len() - 1]),
         };
         Summary {
             count: self.samples.len(),
@@ -203,21 +253,7 @@ impl Histogram {
 
     /// Builds the empirical CDF of the recorded samples.
     pub fn cdf(&self) -> Cdf {
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
-        let n = sorted.len() as f64;
-        let mut points: Vec<CdfPoint> = Vec::new();
-        for (i, v) in sorted.iter().enumerate() {
-            let fraction = (i + 1) as f64 / n;
-            match points.last_mut() {
-                Some(last) if last.value == *v => last.fraction = fraction,
-                _ => points.push(CdfPoint {
-                    value: *v,
-                    fraction,
-                }),
-            }
-        }
-        Cdf { points }
+        Cdf::from_sorted(self.sorted_samples())
     }
 
     /// The raw samples in recording order.
@@ -364,6 +400,24 @@ mod tests {
         assert_eq!(s.max, 3.0);
         assert!((s.mean - 2.0).abs() < 1e-9);
         assert_eq!(s.p50, 2.0);
+    }
+
+    #[test]
+    fn sorted_cache_invalidates_on_record() {
+        let mut h: Histogram = [5.0, 1.0, 3.0].into_iter().collect();
+        assert_eq!(h.percentile(100.0), Some(5.0)); // populates the cache
+        h.record(9.0);
+        assert_eq!(h.percentile(100.0), Some(9.0));
+        assert_eq!(h.sorted_samples(), &[1.0, 3.0, 5.0, 9.0]);
+        assert_eq!(h.samples(), &[5.0, 1.0, 3.0, 9.0], "recording order kept");
+    }
+
+    #[test]
+    fn empirical_cdf_matches_histogram_cdf() {
+        let samples = [4.0, 1.0, 1.0, 2.0];
+        let h: Histogram = samples.into_iter().collect();
+        assert_eq!(empirical_cdf(&samples), h.cdf());
+        assert!(empirical_cdf(&[]).points().is_empty());
     }
 
     #[test]

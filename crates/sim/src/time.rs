@@ -165,8 +165,22 @@ impl SimDuration {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics in debug builds if the sum overflows `u64` microseconds —
+    /// a saturated clock would silently freeze a runaway scheduling loop
+    /// at `SimTime::MAX` instead of surfacing the bug. Release builds
+    /// keep the saturating behaviour.
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.saturating_add(rhs.0))
+        if cfg!(debug_assertions) {
+            SimTime(
+                self.0
+                    .checked_add(rhs.0)
+                    .expect("SimTime + SimDuration overflowed the virtual clock"),
+            )
+        } else {
+            SimTime(self.0.saturating_add(rhs.0))
+        }
     }
 }
 
@@ -192,8 +206,20 @@ impl Sub<SimTime> for SimTime {
 
 impl Add for SimDuration {
     type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics in debug builds on overflow, like `SimTime + SimDuration`;
+    /// saturates in release builds.
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.saturating_add(rhs.0))
+        if cfg!(debug_assertions) {
+            SimDuration(
+                self.0
+                    .checked_add(rhs.0)
+                    .expect("SimDuration + SimDuration overflowed"),
+            )
+        } else {
+            SimDuration(self.0.saturating_add(rhs.0))
+        }
     }
 }
 
@@ -325,6 +351,29 @@ mod tests {
     #[should_panic(expected = "underflow")]
     fn duration_sub_underflow_panics() {
         let _ = SimDuration::from_millis(1) - SimDuration::from_millis(2);
+    }
+
+    /// Regression: a runaway scheduling loop used to freeze the clock at
+    /// `u64::MAX` silently; debug builds must fail loudly instead.
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "overflowed the virtual clock")
+    )]
+    fn instant_overflow_is_loud_in_debug() {
+        let t = SimTime::MAX + SimDuration::from_micros(1);
+        // Release builds saturate (the sentinel stays usable there).
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "SimDuration + SimDuration overflowed")
+    )]
+    fn duration_overflow_is_loud_in_debug() {
+        let d = SimDuration::MAX + SimDuration::from_micros(1);
+        assert_eq!(d, SimDuration::MAX);
     }
 
     #[test]
