@@ -9,8 +9,10 @@
 //! figure/JSON path as `results/flash_crowd.json`.
 //!
 //! ```sh
-//! cargo run --release -p telecast-bench --bin flash_crowd            # 10,000 viewers
-//! cargo run --release -p telecast-bench --bin flash_crowd -- 2000   # custom size
+//! cargo run --release -p telecast-bench --bin flash_crowd              # 10,000 viewers
+//! cargo run --release -p telecast-bench --bin flash_crowd -- 2000      # custom size
+//! cargo run --release -p telecast-bench --bin flash_crowd -- \
+//!     --viewers 2000 --backend dense --seed 7                          # full flags
 //! ```
 //!
 //! All simulation metrics are deterministic for a fixed seed and viewer
@@ -19,17 +21,22 @@
 use std::time::Instant;
 
 use telecast::{DelayModelChoice, SessionConfig, TelecastSession};
-use telecast_bench::{FigureData, Series};
+use telecast_bench::{FigureData, ScenarioArgs, Series};
 use telecast_cdn::CdnConfig;
 use telecast_media::{ArrivalModel, ViewChoice, ViewerWorkload};
 use telecast_net::{Bandwidth, BandwidthProfile};
 use telecast_sim::SimRng;
 
 fn main() {
-    let viewers: usize = std::env::args()
-        .nth(1)
-        .map(|arg| arg.parse().expect("viewer count must be an integer"))
-        .unwrap_or(10_000);
+    let args = ScenarioArgs::from_env();
+    if args.minutes.is_some() || args.churn_pct.is_some() {
+        eprintln!(
+            "warning: flash_crowd ignores --minutes/--churn-pct \
+             (the kickoff is instantaneous; see churn_storm for sustained churn)"
+        );
+    }
+    let viewers = args.viewers.unwrap_or(10_000);
+    let backend = args.backend.unwrap_or(DelayModelChoice::Coordinate);
 
     // Paper defaults, with the CDN pool scaled so admission reflects
     // overlay supply rather than an arbitrarily small pool: the flash
@@ -37,8 +44,8 @@ fn main() {
     let config = SessionConfig::default()
         .with_outbound(BandwidthProfile::uniform_mbps(2, 14))
         .with_cdn(CdnConfig::default().with_outbound(Bandwidth::from_mbps(48_000)))
-        .with_delay_model(DelayModelChoice::Coordinate)
-        .with_seed(1_000 + viewers as u64);
+        .with_delay_model(backend)
+        .with_seed(args.seed.unwrap_or(1_000 + viewers as u64));
 
     println!("== flash crowd: {viewers} simultaneous joins ==");
     let build_start = Instant::now();

@@ -1,0 +1,197 @@
+//! The churn-storm scale scenario: a sustained population under
+//! continuous join/leave/fail churn, driven end-to-end by the
+//! discrete-event engine.
+//!
+//! The scenario prefills the target population at time zero (a flash
+//! kickoff), installs a [`ChurnSpec`] steady-state churn process
+//! (Poisson arrivals, lognormal dwell, a fraction of abrupt failures)
+//! and runs the engine to the simulated horizon. Everything the figure
+//! reports is a function of the seed alone — wall-clock numbers are
+//! returned separately so the JSON export stays byte-identical across
+//! runs and machines.
+
+use telecast::{DelayModelChoice, SessionConfig, TelecastSession};
+use telecast_cdn::CdnConfig;
+use telecast_media::ChurnSpec;
+use telecast_net::{Bandwidth, BandwidthProfile};
+use telecast_sim::{SimDuration, SimTime};
+
+use crate::table::{FigureData, Series};
+
+/// Parameters of one churn-storm run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnScenario {
+    /// Target steady-state population (also the prefill size).
+    pub viewers: usize,
+    /// Simulated duration in minutes.
+    pub minutes: u64,
+    /// Fraction of the population leaving (and, in equilibrium,
+    /// arriving) per minute — `0.01` is the canonical 1%/min storm.
+    pub churn_per_minute: f64,
+    /// Delay substrate; coordinate is the only one that fits 100k nodes.
+    pub backend: DelayModelChoice,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnScenario {
+    fn default() -> Self {
+        ChurnScenario {
+            viewers: 100_000,
+            minutes: 60,
+            churn_per_minute: 0.01,
+            backend: DelayModelChoice::Coordinate,
+            seed: 0xC4_0211,
+        }
+    }
+}
+
+/// Deterministic outcome of a churn run (everything the JSON reports,
+/// plus the raw counters the binary prints).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnOutcome {
+    /// The exported figure (`results/churn_storm.json`).
+    pub figure: FigureData,
+    /// Connected population at the horizon.
+    pub final_population: usize,
+    /// Churn arrivals admitted over the run.
+    pub arrivals: u64,
+    /// Graceful churn departures.
+    pub departures: u64,
+    /// Abrupt churn failures.
+    pub failures: u64,
+    /// Total attach-planner level probes across all trees.
+    pub attach_probes: u64,
+    /// Streams accepted at admission over the run.
+    pub accepted_streams: u64,
+}
+
+/// Runs the scenario and collapses it into the exported figure. Pure in
+/// the seed: equal scenarios produce equal (`==`, and byte-identical
+/// JSON) outcomes regardless of host, thread count or repetition.
+pub fn run_churn(scenario: &ChurnScenario) -> ChurnOutcome {
+    // Paper defaults with the CDN pool scaled to the population (the
+    // prefill front is CDN-served until the first trees grow slots) and
+    // periodic monitoring + adaptation as engine events.
+    let config = SessionConfig::default()
+        .with_outbound(BandwidthProfile::uniform_mbps(2, 14))
+        .with_cdn(CdnConfig::default().with_outbound(Bandwidth::from_mbps(
+            (scenario.viewers as u64 * 5).max(3_000),
+        )))
+        .with_delay_model(scenario.backend)
+        .with_monitor_period(SimDuration::from_secs(10))
+        .with_seed(scenario.seed);
+
+    let mut session = TelecastSession::builder(config)
+        .viewers(scenario.viewers)
+        .build();
+    let horizon = SimTime::from_secs(scenario.minutes * 60);
+    let spec = ChurnSpec::steady_state(scenario.viewers, scenario.churn_per_minute);
+    session.start_churn(spec, horizon, scenario.viewers);
+    session.run_until(horizon);
+
+    let m = session.metrics();
+    let x = scenario.viewers as f64;
+    let population_series: Vec<(f64, f64)> = m
+        .population
+        .points()
+        .iter()
+        .map(|&(at, v)| (at.as_secs_f64(), v))
+        .collect();
+    let figure = FigureData {
+        id: "churn_storm".into(),
+        title: format!(
+            "Churn storm: {} viewers, {:.1}%/min churn over {} simulated minutes ({:?} backend)",
+            scenario.viewers,
+            scenario.churn_per_minute * 100.0,
+            scenario.minutes,
+            scenario.backend,
+        ),
+        x_label: "viewers (scalars) / seconds (population)".into(),
+        y_label: "per-metric value".into(),
+        series: vec![
+            Series::new("population_over_time", population_series),
+            Series::new("acceptance_ratio", vec![(x, m.acceptance_ratio())]),
+            Series::new(
+                "final_population",
+                vec![(x, session.connected_viewers() as f64)],
+            ),
+            Series::new("churn_arrivals", vec![(x, m.churn_arrivals.value() as f64)]),
+            Series::new(
+                "churn_departures",
+                vec![(x, m.churn_departures.value() as f64)],
+            ),
+            Series::new("churn_failures", vec![(x, m.churn_failures.value() as f64)]),
+            Series::new("victims", vec![(x, m.victims.value() as f64)]),
+            Series::new(
+                "victims_repositioned",
+                vec![(x, m.victims_repositioned.value() as f64)],
+            ),
+            Series::new("displacements", vec![(x, m.displacements.value() as f64)]),
+            Series::new("peak_cdn_mbps", vec![(x, m.peak_cdn_mbps())]),
+            Series::new(
+                "join_delay_p99_ms",
+                vec![(x, m.join_delays_ms.percentile(99.0).unwrap_or(0.0))],
+            ),
+            Series::new(
+                "attach_probes_per_accepted_stream",
+                vec![(
+                    x,
+                    session.attach_probe_total() as f64
+                        / (m.accepted_streams.value().max(1)) as f64,
+                )],
+            ),
+            Series::new(
+                "depth_shift_ops_per_accepted_stream",
+                vec![(
+                    x,
+                    session.depth_shift_total() as f64 / (m.accepted_streams.value().max(1)) as f64,
+                )],
+            ),
+        ],
+    };
+    ChurnOutcome {
+        final_population: session.connected_viewers(),
+        arrivals: m.churn_arrivals.value(),
+        departures: m.churn_departures.value(),
+        failures: m.churn_failures.value(),
+        attach_probes: session.attach_probe_total(),
+        accepted_streams: m.accepted_streams.value(),
+        figure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small storm sustains a population and actually churns.
+    #[test]
+    fn small_storm_reaches_steady_state() {
+        let outcome = run_churn(&ChurnScenario {
+            viewers: 300,
+            minutes: 4,
+            churn_per_minute: 0.05,
+            backend: DelayModelChoice::Dense,
+            seed: 5,
+        });
+        assert!(outcome.final_population > 0, "audience collapsed");
+        assert!(
+            outcome.arrivals >= 300,
+            "prefill missing: {} arrivals",
+            outcome.arrivals
+        );
+        assert!(
+            outcome.departures + outcome.failures > 0,
+            "nobody left during 4 minutes of 5%/min churn"
+        );
+        // The population series was sampled by the monitor event.
+        let pop = outcome
+            .figure
+            .series
+            .iter()
+            .find(|s| s.label == "population_over_time")
+            .expect("population series");
+        assert!(pop.points.len() >= 10, "monitor barely sampled");
+    }
+}

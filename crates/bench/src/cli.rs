@@ -1,0 +1,178 @@
+//! Minimal flag parsing shared by the scenario binaries.
+//!
+//! The scale bins (`flash_crowd`, `churn_storm`) accept the same knobs —
+//! population, delay backend, seed, simulated duration, churn rate — so
+//! the parsing lives here once. No external argument-parsing crate: the
+//! container builds offline.
+
+use telecast::DelayModelChoice;
+
+/// Parsed scenario flags; every field is optional so each binary applies
+/// its own defaults.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScenarioArgs {
+    /// `--viewers N` (or a bare positional integer, kept for backwards
+    /// compatibility with the original `flash_crowd <N>` form).
+    pub viewers: Option<usize>,
+    /// `--minutes M`: simulated duration.
+    pub minutes: Option<u64>,
+    /// `--backend {dense,coordinate,auto}`.
+    pub backend: Option<DelayModelChoice>,
+    /// `--seed S`: master seed override.
+    pub seed: Option<u64>,
+    /// `--churn-pct P`: percent of the population leaving per minute.
+    pub churn_pct: Option<f64>,
+}
+
+impl ScenarioArgs {
+    /// Parses flags from an iterator of arguments (without the program
+    /// name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the offending argument.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut out = ScenarioArgs::default();
+        let mut args = args;
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--viewers" => {
+                    let v = next_value(&mut args, "--viewers")?;
+                    let n: usize = parse_num(&v, "--viewers")?;
+                    if n == 0 {
+                        return Err("--viewers must be positive".into());
+                    }
+                    out.viewers = Some(n);
+                }
+                "--minutes" => {
+                    let v = next_value(&mut args, "--minutes")?;
+                    out.minutes = Some(parse_num(&v, "--minutes")?);
+                }
+                "--seed" => {
+                    let v = next_value(&mut args, "--seed")?;
+                    out.seed = Some(parse_num(&v, "--seed")?);
+                }
+                "--churn-pct" => {
+                    let v = next_value(&mut args, "--churn-pct")?;
+                    let pct: f64 = v
+                        .parse()
+                        .map_err(|_| format!("--churn-pct expects a number, got `{v}`"))?;
+                    // ChurnSpec::steady_state requires a rate in (0, 1],
+                    // so reject 0 here with a clean usage error instead
+                    // of panicking downstream.
+                    if !(pct > 0.0 && pct <= 100.0) {
+                        return Err(format!("--churn-pct out of (0, 100]: {pct}"));
+                    }
+                    out.churn_pct = Some(pct);
+                }
+                "--backend" => {
+                    let v = next_value(&mut args, "--backend")?;
+                    out.backend = Some(parse_backend(&v)?);
+                }
+                other => {
+                    // Bare positional integer = viewer count (the original
+                    // `flash_crowd <N>` interface).
+                    match other.parse::<usize>() {
+                        Ok(n) => out.viewers = Some(n),
+                        Err(_) => {
+                            return Err(format!(
+                                "unknown argument `{other}` \
+                                 (expected --viewers N, --minutes M, \
+                                 --backend dense|coordinate|auto, --seed S, \
+                                 --churn-pct P)"
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, exiting with the usage message on
+    /// error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn next_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} expects a value"))
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag} expects an integer, got `{value}`"))
+}
+
+fn parse_backend(value: &str) -> Result<DelayModelChoice, String> {
+    match value {
+        "dense" => Ok(DelayModelChoice::Dense),
+        "coordinate" => Ok(DelayModelChoice::Coordinate),
+        "auto" => Ok(DelayModelChoice::Auto),
+        other => Err(format!(
+            "--backend expects dense|coordinate|auto, got `{other}`"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<ScenarioArgs, String> {
+        ScenarioArgs::parse(parts.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let args = parse(&[
+            "--viewers",
+            "20000",
+            "--minutes",
+            "5",
+            "--backend",
+            "coordinate",
+            "--seed",
+            "9",
+            "--churn-pct",
+            "1.5",
+        ])
+        .unwrap();
+        assert_eq!(args.viewers, Some(20_000));
+        assert_eq!(args.minutes, Some(5));
+        assert_eq!(args.backend, Some(DelayModelChoice::Coordinate));
+        assert_eq!(args.seed, Some(9));
+        assert_eq!(args.churn_pct, Some(1.5));
+    }
+
+    #[test]
+    fn bare_integer_is_viewers() {
+        assert_eq!(parse(&["2500"]).unwrap().viewers, Some(2_500));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--viewers"]).is_err());
+        assert!(parse(&["--viewers", "lots"]).is_err());
+        assert!(parse(&["--backend", "quantum"]).is_err());
+        assert!(parse(&["--churn-pct", "250"]).is_err());
+        // Zero rates/populations would panic inside ChurnSpec's
+        // asserts; the parser must catch them first.
+        assert!(parse(&["--churn-pct", "0"]).is_err());
+        assert!(parse(&["--viewers", "0"]).is_err());
+    }
+
+    #[test]
+    fn empty_args_are_all_defaults() {
+        assert_eq!(parse(&[]).unwrap(), ScenarioArgs::default());
+    }
+}

@@ -9,11 +9,15 @@
 //! simulation runs of a sweep execute in parallel on the deterministic,
 //! order-preserving executor shared through [`telecast_sim::parallel_map`].
 
+pub mod churn;
+pub mod cli;
 pub mod figures;
 pub mod harness;
 pub mod json;
 pub mod table;
 
+pub use churn::{run_churn, ChurnOutcome, ChurnScenario};
+pub use cli::ScenarioArgs;
 pub use figures::Scale;
 pub use harness::{run_scenario, RunResult, Scenario};
 pub use table::{FigureData, Series};

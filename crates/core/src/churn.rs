@@ -1,0 +1,96 @@
+//! The continuous-churn runtime.
+//!
+//! [`ChurnRuntime`] is the session-side state behind
+//! `TelecastSession::start_churn`: it holds the [`ChurnSpec`] being
+//! replayed, its own forked [`SimRng`] stream (so churn draws never
+//! perturb the workload stream), and the pool of viewers currently
+//! available for (re)admission. The session drives it purely through
+//! engine events — `ChurnArrival` admits one pool viewer and self-
+//! schedules the next Poisson arrival, `ChurnLeave` fires at the end of
+//! a viewer's lognormal dwell and either departs it gracefully or fails
+//! it abruptly — so membership dynamics interleave with joins,
+//! repositions and adaptation ticks in one deterministic virtual
+//! timeline instead of synchronous batches.
+
+use telecast_media::ChurnSpec;
+use telecast_net::NodeId;
+use telecast_sim::{SimRng, SimTime};
+
+/// How many stale pool candidates one arrival may probe before giving
+/// up. A candidate is stale when it is still connected because its
+/// graceful departure has not finished processing; bounding the probes
+/// keeps an arrival O(1).
+pub(crate) const ARRIVAL_PROBE_CAP: usize = 8;
+
+/// Live state of a running churn process (one per session at most).
+#[derive(Debug, Clone)]
+pub(crate) struct ChurnRuntime {
+    /// The model being replayed.
+    pub spec: ChurnSpec,
+    /// No new arrivals are generated after this instant; dwell timers
+    /// already scheduled may still fire later.
+    pub horizon: SimTime,
+    /// Dedicated random stream for gaps, dwells, views and fail draws.
+    pub rng: SimRng,
+    /// Viewers available for admission (unordered; arrivals draw
+    /// uniformly at random, leavers are pushed back on departure).
+    pub available: Vec<NodeId>,
+}
+
+impl ChurnRuntime {
+    /// Pops a uniformly random candidate from the pool.
+    pub fn pop_candidate(&mut self) -> Option<NodeId> {
+        if self.available.is_empty() {
+            return None;
+        }
+        let idx = self.rng.range(0..self.available.len());
+        Some(self.available.swap_remove(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telecast_net::{NodeKind, NodeRegistry, Region};
+
+    #[test]
+    fn pop_candidate_drains_the_pool() {
+        let mut reg = NodeRegistry::new();
+        let pool: Vec<NodeId> = (0..10)
+            .map(|_| reg.add(NodeKind::Viewer, Region::Europe))
+            .collect();
+        let mut runtime = ChurnRuntime {
+            spec: ChurnSpec::steady_state(10, 0.5),
+            horizon: SimTime::from_secs(60),
+            rng: SimRng::seed_from_u64(1),
+            available: pool.clone(),
+        };
+        let mut popped: Vec<NodeId> = (0..10).map(|_| runtime.pop_candidate().unwrap()).collect();
+        assert_eq!(runtime.pop_candidate(), None);
+        popped.sort_unstable();
+        let mut expected = pool;
+        expected.sort_unstable();
+        assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn pop_candidate_is_seed_deterministic() {
+        let mut reg = NodeRegistry::new();
+        let pool: Vec<NodeId> = (0..32)
+            .map(|_| reg.add(NodeKind::Viewer, Region::Asia))
+            .collect();
+        let draw = |seed| {
+            let mut runtime = ChurnRuntime {
+                spec: ChurnSpec::steady_state(32, 0.1),
+                horizon: SimTime::ZERO,
+                rng: SimRng::seed_from_u64(seed),
+                available: pool.clone(),
+            };
+            (0..32)
+                .map(|_| runtime.pop_candidate().unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+}

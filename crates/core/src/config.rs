@@ -104,6 +104,11 @@ pub struct SessionConfig {
     /// re-subscribe if the κ bound drifted). `None` disables periodic
     /// adaptation; structural changes still trigger resynchronisation.
     pub adaptation_period: Option<SimDuration>,
+    /// Period of the GSC monitoring sampler (population and CDN usage
+    /// recorded into the session time series as engine events). `None`
+    /// disables periodic sampling; CDN usage is still sampled after
+    /// every protocol event.
+    pub monitor_period: Option<SimDuration>,
     /// Scope of view groups.
     pub group_scope: GroupScope,
     /// Delay substrate (dense matrix vs O(n) coordinates).
@@ -130,6 +135,7 @@ impl Default for SessionConfig {
             outbound_policy: OutboundPolicy::RoundRobin,
             layering_enabled: true,
             adaptation_period: None,
+            monitor_period: None,
             group_scope: GroupScope::PerLsc,
             delay_model: DelayModelChoice::Auto,
             seed: 42,
@@ -192,6 +198,12 @@ impl SessionConfig {
     /// Convenience: force a delay-model backend.
     pub fn with_delay_model(mut self, choice: DelayModelChoice) -> Self {
         self.delay_model = choice;
+        self
+    }
+
+    /// Convenience: enable periodic GSC monitoring samples.
+    pub fn with_monitor_period(mut self, period: SimDuration) -> Self {
+        self.monitor_period = Some(period);
         self
     }
 }

@@ -44,6 +44,7 @@
 
 pub mod alloc;
 mod buffer;
+mod churn;
 mod config;
 mod dataplane;
 mod error;

@@ -31,8 +31,17 @@ pub struct SessionMetrics {
     /// CDN outbound usage over time, in Mbps (Fig. 13(a) reports the
     /// peak).
     pub cdn_usage_mbps: TimeSeries,
+    /// Connected population over time, sampled by the GSC monitor event.
+    pub population: TimeSeries,
     /// Times the subscription-chain damping cap was hit (should stay 0).
     pub resync_cap_hits: Counter,
+    /// Viewers admitted by the churn runtime (arrival events that issued
+    /// a join).
+    pub churn_arrivals: Counter,
+    /// Churn dwell expiries that departed gracefully.
+    pub churn_departures: Counter,
+    /// Churn dwell expiries that failed abruptly.
+    pub churn_failures: Counter,
 }
 
 impl Default for SessionMetrics {
@@ -57,7 +66,11 @@ impl SessionMetrics {
             victims: Counter::new("victims"),
             victims_repositioned: Counter::new("victims_repositioned"),
             cdn_usage_mbps: TimeSeries::new(),
+            population: TimeSeries::new(),
             resync_cap_hits: Counter::new("resync_cap_hits"),
+            churn_arrivals: Counter::new("churn_arrivals"),
+            churn_departures: Counter::new("churn_departures"),
+            churn_failures: Counter::new("churn_failures"),
         }
     }
 
@@ -77,9 +90,20 @@ impl SessionMetrics {
         self.cdn_usage_mbps.peak()
     }
 
-    /// Records a CDN usage sample.
+    /// Records a CDN usage sample. The series is a step function, so
+    /// consecutive identical values collapse into the first sample —
+    /// long churn runs would otherwise accumulate one point per protocol
+    /// event.
     pub fn sample_cdn_usage(&mut self, at: SimTime, mbps: f64) {
+        if self.cdn_usage_mbps.last() == Some(mbps) {
+            return;
+        }
         self.cdn_usage_mbps.record(at, mbps);
+    }
+
+    /// Records a connected-population sample (GSC monitor event).
+    pub fn sample_population(&mut self, at: SimTime, viewers: f64) {
+        self.population.record(at, viewers);
     }
 
     /// CDF of join delays (milliseconds).

@@ -69,6 +69,19 @@ enum SessionEvent {
     /// §VI delay-layer adaptation tick: every connected viewer re-derives
     /// its layers from the currently observed delays.
     PeriodicAdaptation,
+    /// One Poisson churn arrival: admit a pool viewer and self-schedule
+    /// the next arrival while before the churn horizon.
+    ChurnArrival,
+    /// End of a churn-admitted viewer's dwell: depart gracefully or
+    /// (`fail`) abruptly, and return the viewer to the churn pool.
+    ChurnLeave {
+        viewer: NodeId,
+        fail: bool,
+    },
+    /// GSC monitoring sample: record population and CDN usage into the
+    /// session time series (paper §III's continuous monitoring, as an
+    /// engine event rather than an ad-hoc tick).
+    MonitorSample,
 }
 
 /// Builder for [`TelecastSession`]; fixes the viewer population so the
@@ -179,7 +192,10 @@ impl SessionBuilder {
             metrics: SessionMetrics::new(),
             rng: workload_rng,
             adaptation_armed: false,
+            monitor_armed: false,
             last_adaptation: None,
+            churn: None,
+            connected_count: 0,
             config,
         }
     }
@@ -240,9 +256,15 @@ pub struct TelecastSession {
     metrics: SessionMetrics,
     rng: SimRng,
     adaptation_armed: bool,
+    monitor_armed: bool,
     /// `(virtual time, drift epoch)` of the last adaptation pass, used to
     /// skip ticks during which no observed delay can have changed.
     last_adaptation: Option<(SimTime, u64)>,
+    /// The continuous-churn runtime, when started.
+    churn: Option<crate::churn::ChurnRuntime>,
+    /// Maintained count of viewers in [`ViewerStatus::Connected`] — the
+    /// population the monitor samples without scanning the pool.
+    connected_count: usize,
     monitor: GscMonitor,
 }
 
@@ -295,6 +317,43 @@ impl TelecastSession {
     /// Accumulated metrics.
     pub fn metrics(&self) -> &SessionMetrics {
         &self.metrics
+    }
+
+    /// Number of currently connected viewers (maintained, not scanned).
+    pub fn connected_viewers(&self) -> usize {
+        self.connected_count
+    }
+
+    /// Cumulative attach-planner level probes across every stream tree
+    /// of the session (grouped scopes plus the Random baseline's global
+    /// trees). Each probe is an O(log n) index lookup; scale tests bound
+    /// this total to prove no O(n) per-join traversal was reintroduced.
+    pub fn attach_probe_total(&self) -> u64 {
+        self.tree_counter_total(StreamTree::attach_probes)
+    }
+
+    /// Cumulative per-node depth updates from subtree moves across every
+    /// stream tree — the *apply* cost of displacements and repositions
+    /// (planning is O(log n), but sliding a displaced subtree down a
+    /// level costs O(subtree)). Scale tests bound this per placement to
+    /// catch workloads that degenerate into chain-displacement storms.
+    pub fn depth_shift_total(&self) -> u64 {
+        self.tree_counter_total(StreamTree::depth_shift_ops)
+    }
+
+    fn tree_counter_total(&self, counter: impl Fn(&StreamTree) -> u64) -> u64 {
+        let mut total = 0u64;
+        for scope in &self.scopes {
+            for (_, group) in scope.iter() {
+                for (_, tree) in group.trees() {
+                    total += counter(tree);
+                }
+            }
+        }
+        for tree in self.random_trees.values() {
+            total += counter(tree);
+        }
+        total
     }
 
     /// The CDN under simulation.
@@ -373,18 +432,44 @@ impl TelecastSession {
         Ok(())
     }
 
-    /// Schedules the first §VI adaptation tick once the session has any
-    /// activity; subsequent ticks self-schedule while other events remain
-    /// pending (so `run_to_idle` still terminates once the session
-    /// quiesces).
+    /// Schedules the first §VI adaptation tick and the first GSC
+    /// monitoring sample once the session has any activity; subsequent
+    /// ticks self-schedule while other events remain pending (so
+    /// `run_to_idle` still terminates once the session quiesces).
     fn arm_adaptation(&mut self) {
-        if self.adaptation_armed {
-            return;
+        if !self.adaptation_armed {
+            if let Some(period) = self.config.adaptation_period {
+                self.adaptation_armed = true;
+                self.engine
+                    .schedule_after(period, SessionEvent::PeriodicAdaptation);
+            }
         }
-        if let Some(period) = self.config.adaptation_period {
-            self.adaptation_armed = true;
-            self.engine
-                .schedule_after(period, SessionEvent::PeriodicAdaptation);
+        if !self.monitor_armed {
+            if let Some(period) = self.config.monitor_period {
+                self.monitor_armed = true;
+                self.engine
+                    .schedule_after(period, SessionEvent::MonitorSample);
+            }
+        }
+    }
+
+    /// One GSC monitoring sample (§III "continuously monitors"): the
+    /// connected population and CDN outbound usage at the current virtual
+    /// instant, recorded into the session time series. Re-arms itself
+    /// while the session stays active.
+    fn monitor_sample(&mut self) {
+        let now = self.engine.now();
+        let mbps = self.cdn.outbound().used().as_mbps_f64();
+        self.metrics
+            .sample_population(now, self.connected_count as f64);
+        self.metrics.sample_cdn_usage(now, mbps);
+        if let Some(period) = self.config.monitor_period {
+            if self.engine.peek_time().is_some() {
+                self.engine
+                    .schedule_after(period, SessionEvent::MonitorSample);
+            } else {
+                self.monitor_armed = false;
+            }
         }
     }
 
@@ -509,6 +594,160 @@ impl TelecastSession {
         }
         self.process_depart(viewer);
         Ok(())
+    }
+
+    /// Starts the continuous-churn runtime: `prefill` viewers join at the
+    /// current instant (each with a sampled dwell), then Poisson arrivals
+    /// admit pool viewers until `horizon`. Every admitted viewer leaves
+    /// at the end of its lognormal dwell — gracefully, or abruptly for
+    /// the spec's fail fraction — and returns to the pool for readmission,
+    /// so the session sustains the spec's steady-state population
+    /// indefinitely. All draws come from a dedicated fork of the master
+    /// seed; two sessions with equal config, spec and horizon replay the
+    /// identical membership timeline.
+    ///
+    /// Use [`TelecastSession::run_until`] with the same horizon to drive
+    /// the run: dwell timers beyond the horizon stay pending, so
+    /// [`TelecastSession::run_to_idle`] would additionally play out the
+    /// audience draining away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid or a churn runtime is already
+    /// installed.
+    pub fn start_churn(
+        &mut self,
+        spec: telecast_media::ChurnSpec,
+        horizon: SimTime,
+        prefill: usize,
+    ) {
+        if let Err(msg) = spec.validate() {
+            panic!("invalid churn spec: {msg}");
+        }
+        assert!(self.churn.is_none(), "churn runtime already started");
+        let rng = self.rng.fork(0xC0_4112); // dedicated churn stream
+        let available: Vec<NodeId> = self
+            .viewers
+            .values()
+            .filter(|v| matches!(v.status, ViewerStatus::Idle | ViewerStatus::Rejected))
+            .map(|v| v.node)
+            .collect();
+        self.churn = Some(crate::churn::ChurnRuntime {
+            spec,
+            horizon,
+            rng,
+            available,
+        });
+        for _ in 0..prefill {
+            if !self.churn_admit_one() {
+                break;
+            }
+        }
+        let now = self.engine.now();
+        if now < horizon {
+            let gap = {
+                let churn = self.churn.as_mut().expect("just installed");
+                churn.spec.sample_gap(&mut churn.rng)
+            };
+            if now + gap <= horizon {
+                self.engine
+                    .schedule_at(now + gap, SessionEvent::ChurnArrival);
+            }
+        }
+        self.arm_adaptation();
+    }
+
+    /// Whether a churn runtime is installed.
+    pub fn churn_active(&self) -> bool {
+        self.churn.is_some()
+    }
+
+    /// Admits one churn-pool viewer at the current instant: joins it on a
+    /// sampled view and schedules its leave at the end of a sampled
+    /// dwell. Probes up to [`crate::churn::ARRIVAL_PROBE_CAP`] pool
+    /// candidates (a candidate can be stale while its graceful departure
+    /// is still in flight). Returns whether a join was issued.
+    fn churn_admit_one(&mut self) -> bool {
+        let now = self.engine.now();
+        let catalog_len = self.catalog.len();
+        for _ in 0..crate::churn::ARRIVAL_PROBE_CAP {
+            let (candidate, view, dwell, fail) = {
+                let churn = self.churn.as_mut().expect("churn runtime installed");
+                let Some(candidate) = churn.pop_candidate() else {
+                    return false;
+                };
+                (
+                    candidate,
+                    churn.spec.view_choice.sample(catalog_len, &mut churn.rng),
+                    churn.spec.sample_dwell(&mut churn.rng),
+                    churn.spec.sample_fail(&mut churn.rng),
+                )
+            };
+            match self.request_join_at(candidate, view, now) {
+                Ok(()) => {
+                    self.metrics.churn_arrivals.incr();
+                    self.engine.schedule_after(
+                        dwell,
+                        SessionEvent::ChurnLeave {
+                            viewer: candidate,
+                            fail,
+                        },
+                    );
+                    return true;
+                }
+                Err(_) => {
+                    // Still connected (departure in flight): back into the
+                    // pool, try another candidate.
+                    self.churn
+                        .as_mut()
+                        .expect("churn runtime installed")
+                        .available
+                        .push(candidate);
+                }
+            }
+        }
+        false
+    }
+
+    /// One `ChurnArrival` event: self-schedule the next arrival while
+    /// before the horizon, then admit a pool viewer.
+    fn churn_arrival(&mut self) {
+        let now = self.engine.now();
+        let Some(churn) = self.churn.as_mut() else {
+            return;
+        };
+        if now < churn.horizon {
+            let gap = churn.spec.sample_gap(&mut churn.rng);
+            let next = now + gap;
+            if next <= churn.horizon {
+                self.engine.schedule_at(next, SessionEvent::ChurnArrival);
+            }
+        }
+        self.churn_admit_one();
+    }
+
+    /// One `ChurnLeave` event: the viewer's dwell ended. Connected
+    /// viewers depart gracefully or fail abruptly; either way (and also
+    /// for viewers whose join was rejected) the viewer returns to the
+    /// pool for readmission.
+    fn churn_leave(&mut self, viewer: NodeId, fail: bool) {
+        let connected = self
+            .viewers
+            .get(&viewer)
+            .map(|v| v.status == ViewerStatus::Connected)
+            .unwrap_or(false);
+        if connected {
+            if fail {
+                self.metrics.churn_failures.incr();
+                let _ = self.fail_viewer(viewer);
+            } else {
+                self.metrics.churn_departures.incr();
+                let _ = self.request_depart(viewer);
+            }
+        }
+        if let Some(churn) = self.churn.as_mut() {
+            churn.available.push(viewer);
+        }
     }
 
     /// Runs the protocol engine until no events remain.
@@ -736,6 +975,9 @@ impl TelecastSession {
                 self.reposition_victim(viewer, stream);
             }
             SessionEvent::PeriodicAdaptation => self.periodic_adaptation(),
+            SessionEvent::ChurnArrival => self.churn_arrival(),
+            SessionEvent::ChurnLeave { viewer, fail } => self.churn_leave(viewer, fail),
+            SessionEvent::MonitorSample => self.monitor_sample(),
         }
         let mbps = self.cdn.outbound().used().as_mbps_f64();
         self.metrics.sample_cdn_usage(self.engine.now(), mbps);
@@ -1054,6 +1296,9 @@ impl TelecastSession {
         let mut parent_updates: Vec<(NodeId, StreamId, SubscriptionPoint)> = Vec::new();
         {
             let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+            if v.status != ViewerStatus::Connected {
+                self.connected_count += 1;
+            }
             v.status = ViewerStatus::Connected;
             v.view = Some(view);
             for (sid, mut sub) in kept {
@@ -1467,6 +1712,9 @@ impl TelecastSession {
         self.teardown_subscriptions(viewer);
         let leases: Vec<_> = {
             let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+            if v.status == ViewerStatus::Connected {
+                self.connected_count -= 1;
+            }
             v.status = ViewerStatus::Idle;
             v.view = None;
             v.temp_leases.drain_all()

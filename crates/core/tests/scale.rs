@@ -2,9 +2,10 @@
 //! substrate (never materialising an n² matrix) and stay seed-exact.
 
 use telecast::{DelayModelChoice, SessionConfig, TelecastSession};
-use telecast_media::{ArrivalModel, ViewChoice, ViewerWorkload};
-use telecast_net::BandwidthProfile;
-use telecast_sim::SimRng;
+use telecast_cdn::CdnConfig;
+use telecast_media::{ArrivalModel, ChurnSpec, ViewChoice, ViewerWorkload};
+use telecast_net::{Bandwidth, BandwidthProfile};
+use telecast_sim::{SimDuration, SimRng, SimTime};
 
 /// 10,000 viewers: the dense backend would allocate ≈ 3.2 GB of delay
 /// tables before the first event fires. Auto selection must pick the
@@ -45,6 +46,87 @@ fn backend_selection_respects_config() {
     .viewers(50)
     .build();
     assert_eq!(dense.delay_backend().kind(), "dense");
+}
+
+/// A 2k-viewer flash prefill plus sustained churn must not reintroduce
+/// an O(n) per-join tree walk: the attach planner's cumulative level
+/// probes stay within a small constant per placed stream (a BFS over
+/// occupied slots would average ~members/2 probes per insert, i.e.
+/// hundreds here).
+#[test]
+fn churn_attach_probes_stay_logarithmic() {
+    let viewers = 2_000;
+    let config = SessionConfig::default()
+        .with_outbound(BandwidthProfile::uniform_mbps(2, 14))
+        .with_cdn(CdnConfig::default().with_outbound(Bandwidth::from_mbps(viewers as u64 * 5)))
+        .with_delay_model(DelayModelChoice::Coordinate)
+        .with_monitor_period(SimDuration::from_secs(10))
+        .with_seed(31);
+    let mut session = TelecastSession::builder(config).viewers(viewers).build();
+    let horizon = SimTime::from_secs(120);
+    session.start_churn(ChurnSpec::steady_state(viewers, 0.05), horizon, viewers);
+    session.run_until(horizon);
+
+    let m = session.metrics();
+    let placements = m.accepted_streams.value();
+    assert!(placements > 1_000, "churn run barely placed anything");
+    let probes = session.attach_probe_total();
+    let per_placement = probes as f64 / placements as f64;
+    assert!(
+        per_placement < 64.0,
+        "attach planner probed {per_placement:.1} levels per placement — \
+         an O(n) traversal is back"
+    );
+    // Applying displacements/repositions shifts subtree depths; on this
+    // realistic mix the moved subtrees must stay small (the worst case —
+    // every join displacing the root of a growing chain — would average
+    // ~members/2 ≈ 1000 shifts per placement here).
+    let shifts_per_placement = session.depth_shift_total() as f64 / placements as f64;
+    assert!(
+        shifts_per_placement < 32.0,
+        "subtree moves shifted {shifts_per_placement:.1} depths per placement — \
+         displacement is degenerating into chain storms"
+    );
+    assert!(
+        session.connected_viewers() > viewers / 2,
+        "audience collapsed"
+    );
+}
+
+/// Two churn runs with equal seeds replay the identical membership
+/// timeline: same counters, same population samples, same final state.
+#[test]
+fn churn_runtime_is_seed_deterministic() {
+    let run = |seed: u64| {
+        let config = SessionConfig::default()
+            .with_outbound(BandwidthProfile::uniform_mbps(0, 12))
+            .with_monitor_period(SimDuration::from_secs(5))
+            .with_seed(seed);
+        let mut session = TelecastSession::builder(config).viewers(250).build();
+        let horizon = SimTime::from_secs(180);
+        session.start_churn(
+            ChurnSpec::steady_state(250, 0.1).with_fail_fraction(0.3),
+            horizon,
+            250,
+        );
+        session.run_until(horizon);
+        let m = session.metrics();
+        (
+            m.churn_arrivals.value(),
+            m.churn_departures.value(),
+            m.churn_failures.value(),
+            m.victims.value(),
+            m.subscription_messages.value(),
+            session.connected_viewers(),
+            m.population.points().to_vec(),
+            session.cdn().outbound().used().as_kbps(),
+        )
+    };
+    let a = run(17);
+    assert_eq!(a, run(17));
+    assert!(a.0 > 0, "no churn arrivals");
+    assert!(a.1 + a.2 > 0, "no churn leaves in 3 minutes at 10%/min");
+    assert_ne!(a, run(18));
 }
 
 /// Identical seeds on the coordinate backend reproduce identical

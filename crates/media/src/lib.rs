@@ -36,4 +36,4 @@ pub use producer::ProducerSite;
 pub use stream::{Orientation, SiteId, StreamId, StreamInfo};
 pub use teeve::{SyntheticTeeveTrace, TeeveStreamConfig};
 pub use view::{GlobalView, LocalView, PrioritizedStream, ViewCatalog, ViewId};
-pub use workload::{ArrivalModel, ViewChoice, ViewerWorkload, WorkloadEvent};
+pub use workload::{ArrivalModel, ChurnSpec, ViewChoice, ViewerWorkload, WorkloadEvent};

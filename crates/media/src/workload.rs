@@ -271,6 +271,169 @@ impl ViewerWorkloadBuilder {
     }
 }
 
+/// A continuous-churn model: Poisson arrivals, lognormal dwell times and
+/// a fraction of abrupt failures — the sustained-membership counterpart
+/// of the one-shot [`ViewerWorkload`] scripts.
+///
+/// The spec is the shared vocabulary between the two ways of driving
+/// viewer dynamics: [`ChurnSpec::to_workload`] scripts a finite batch of
+/// events up front (small populations, cross-scheme comparisons on
+/// identical inputs), while `telecast::TelecastSession::start_churn`
+/// replays the *same spec* live through the discrete-event engine
+/// (sustained 100k+ populations where a pre-materialised script would
+/// not fit and rejected viewers must be able to retry).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Mean gap between Poisson arrivals.
+    pub mean_arrival_gap: SimDuration,
+    /// Mean of the lognormal dwell (connected) time.
+    pub mean_dwell: SimDuration,
+    /// σ of the underlying normal of the dwell distribution.
+    pub dwell_sigma: f64,
+    /// Fraction of leavers that fail abruptly instead of departing
+    /// gracefully.
+    pub fail_fraction: f64,
+    /// How arriving viewers pick views.
+    pub view_choice: ViewChoice,
+}
+
+impl ChurnSpec {
+    /// A steady-state spec for `population` viewers with
+    /// `churn_per_minute` of them leaving (and, in equilibrium, joining)
+    /// each minute: mean dwell `1 / churn_per_minute` minutes, arrival
+    /// gap `mean_dwell / population` (Little's law).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population` is zero or `churn_per_minute` is not in
+    /// `(0, 1]`.
+    pub fn steady_state(population: usize, churn_per_minute: f64) -> Self {
+        assert!(population > 0, "churn over an empty population");
+        assert!(
+            churn_per_minute > 0.0 && churn_per_minute <= 1.0,
+            "churn_per_minute out of (0, 1]: {churn_per_minute}"
+        );
+        let mean_dwell = SimDuration::from_secs_f64(60.0 / churn_per_minute);
+        let mean_arrival_gap =
+            SimDuration::from_secs_f64(mean_dwell.as_secs_f64() / population as f64);
+        ChurnSpec {
+            mean_arrival_gap,
+            mean_dwell,
+            dwell_sigma: 1.0,
+            fail_fraction: 0.1,
+            view_choice: ViewChoice::Zipf { s: 0.8 },
+        }
+    }
+
+    /// Sets the fraction of leavers that fail abruptly.
+    pub fn with_fail_fraction(mut self, fraction: f64) -> Self {
+        self.fail_fraction = fraction;
+        self
+    }
+
+    /// Sets the view-choice model.
+    pub fn with_view_choice(mut self, choice: ViewChoice) -> Self {
+        self.view_choice = choice;
+        self
+    }
+
+    /// Validates the spec's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mean_arrival_gap.is_zero() {
+            return Err("mean_arrival_gap must be positive".into());
+        }
+        if self.mean_dwell.is_zero() {
+            return Err("mean_dwell must be positive".into());
+        }
+        if !self.dwell_sigma.is_finite() || self.dwell_sigma < 0.0 {
+            return Err(format!("dwell_sigma invalid: {}", self.dwell_sigma));
+        }
+        if !(0.0..=1.0).contains(&self.fail_fraction) {
+            return Err(format!(
+                "fail_fraction out of [0, 1]: {}",
+                self.fail_fraction
+            ));
+        }
+        Ok(())
+    }
+
+    /// Draws the gap to the next arrival.
+    pub fn sample_gap(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.exponential(self.mean_arrival_gap.as_secs_f64()))
+    }
+
+    /// Draws one viewer's dwell (connected) time.
+    pub fn sample_dwell(&self, rng: &mut SimRng) -> SimDuration {
+        if self.dwell_sigma == 0.0 {
+            return self.mean_dwell;
+        }
+        SimDuration::from_secs_f64(
+            rng.lognormal_with_mean(self.mean_dwell.as_secs_f64(), self.dwell_sigma),
+        )
+    }
+
+    /// Draws whether a leave is an abrupt failure.
+    pub fn sample_fail(&self, rng: &mut SimRng) -> bool {
+        rng.chance(self.fail_fraction)
+    }
+
+    /// Scripts this spec into a finite [`ViewerWorkload`]: viewers from a
+    /// pool of `viewers` arrive by the Poisson process until `horizon`,
+    /// each departing after its sampled dwell (failures cannot be
+    /// scripted — [`WorkloadEvent`] has no failure variant — so every
+    /// leave becomes a graceful departure). Arrivals beyond the pool
+    /// size reuse the earliest-departed viewer index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `viewers` is zero or `catalog_len` is zero.
+    pub fn to_workload(
+        &self,
+        viewers: usize,
+        catalog_len: usize,
+        horizon: SimTime,
+        rng: &mut SimRng,
+    ) -> ViewerWorkload {
+        assert!(viewers > 0, "churn workload needs a viewer pool");
+        let mut events: Vec<(SimTime, WorkloadEvent)> = Vec::new();
+        // Pool of (free-at, index): a viewer can be reused once departed.
+        let mut free: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, usize)>> = (0
+            ..viewers)
+            .map(|i| std::cmp::Reverse((SimTime::ZERO, i)))
+            .collect();
+        let mut t = SimTime::ZERO;
+        loop {
+            t += self.sample_gap(rng);
+            if t > horizon {
+                break;
+            }
+            let Some(&std::cmp::Reverse((free_at, viewer))) = free.peek() else {
+                break;
+            };
+            if free_at > t {
+                // Every viewer is still connected; the arrival is lost
+                // (the live runtime would retry later instead).
+                continue;
+            }
+            free.pop();
+            let view = self.view_choice.sample(catalog_len, rng);
+            events.push((t, WorkloadEvent::Join { viewer, view }));
+            let leave = t + self.sample_dwell(rng);
+            events.push((leave, WorkloadEvent::Depart { viewer }));
+            free.push(std::cmp::Reverse((leave, viewer)));
+        }
+        events.sort_by_key(|&(at, _)| at);
+        ViewerWorkload {
+            events,
+            viewer_count: viewers,
+        }
+    }
+}
+
 /// Samples a Poisson count with the given mean (inversion; means here are
 /// tiny so the linear scan is fine).
 fn poisson_count(mean: f64, rng: &mut SimRng) -> usize {
@@ -428,6 +591,76 @@ mod tests {
         };
         assert_eq!(build(9), build(9));
         assert_ne!(build(9), build(10));
+    }
+
+    #[test]
+    fn churn_spec_steady_state_matches_littles_law() {
+        // 1% per minute over 6000 viewers: mean dwell 100 min, one
+        // arrival per second on average.
+        let spec = ChurnSpec::steady_state(6_000, 0.01);
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.mean_dwell, SimDuration::from_secs(6_000));
+        assert_eq!(spec.mean_arrival_gap, SimDuration::from_secs(1));
+
+        let mut rng = SimRng::seed_from_u64(21);
+        let n = 20_000;
+        let mean_dwell: f64 = (0..n)
+            .map(|_| spec.sample_dwell(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean_dwell - 6_000.0).abs() / 6_000.0 < 0.05,
+            "dwell mean {mean_dwell} far from 6000s"
+        );
+    }
+
+    #[test]
+    fn churn_spec_validation_catches_bad_parameters() {
+        let spec = ChurnSpec::steady_state(100, 0.05);
+        assert!(spec.with_fail_fraction(1.5).validate().is_err());
+        let mut zero_gap = spec;
+        zero_gap.mean_arrival_gap = SimDuration::ZERO;
+        assert!(zero_gap.validate().is_err());
+    }
+
+    #[test]
+    fn churn_workload_bridge_is_deterministic_and_ordered() {
+        let spec = ChurnSpec::steady_state(50, 0.2);
+        let build = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            spec.to_workload(50, 8, SimTime::from_secs(600), &mut rng)
+        };
+        let wl = build(3);
+        assert_eq!(wl, build(3));
+        assert_ne!(wl, build(4));
+        assert!(wl.events().windows(2).all(|w| w[0].0 <= w[1].0));
+        // Every join is eventually followed by that viewer's departure.
+        let joins = wl
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkloadEvent::Join { .. }))
+            .count();
+        let departs = wl
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, WorkloadEvent::Depart { .. }))
+            .count();
+        assert_eq!(joins, departs);
+        assert!(joins > 0, "no arrivals before the horizon");
+        // A viewer is never double-joined: joins and departures alternate
+        // per index.
+        let mut connected = std::collections::HashSet::new();
+        for (_, ev) in wl.events() {
+            match *ev {
+                WorkloadEvent::Join { viewer, .. } => {
+                    assert!(connected.insert(viewer), "double join of {viewer}");
+                }
+                WorkloadEvent::Depart { viewer } => {
+                    assert!(connected.remove(&viewer), "departure without join");
+                }
+                WorkloadEvent::ViewChange { .. } => {}
+            }
+        }
     }
 
     #[test]

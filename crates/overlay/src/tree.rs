@@ -14,8 +14,26 @@
 //!   caller's decision when the scan fails, matching "the algorithm first
 //!   tries to provision a viewer request from the available viewers …, if
 //!   failed, the request is provisioned from the CDN".
+//!
+//! The scan itself is **not** implemented as a traversal. Every member
+//! carries its depth, and two per-level indexes are maintained alongside
+//! the flat free-slot/strength indexes:
+//!
+//! * `level_members[d]` — the members at depth `d`, ascending
+//!   `(out_degree, C_obw, id)`, so the weakest (first-displaced) position
+//!   of a level is its first entry;
+//! * `level_free[d]` — the members at depth `d` with at least one free
+//!   child slot, in the same order, so the level's first-offered free
+//!   slot is its first entry.
+//!
+//! The attach planner walks depths shallow-to-deep probing only these
+//! first entries (`O(log n)` each), reproducing the BFS decision — free
+//! slots under level-`d−1` parents are offered before displacement at
+//! level `d` — without ever visiting the tree. Per-attach work is
+//! `O(levels · log n)` instead of `O(n)`; [`StreamTree::attach_probes`]
+//! counts the level probes so scale tests can assert the bound.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
 use telecast_media::StreamId;
@@ -38,6 +56,10 @@ struct TreeNode {
     outbound_capacity: Bandwidth,
     parent: TreeParent,
     children: BTreeSet<NodeId>,
+    /// Hop count from the CDN root (direct CDN children have depth 0).
+    /// Maintained on every structural change; subtree moves shift every
+    /// descendant.
+    depth: usize,
 }
 
 /// Aggregate shape statistics of a tree (for the ablation benches).
@@ -51,6 +73,26 @@ pub struct TreeMetrics {
     pub max_depth: usize,
     /// Mean depth over all members.
     pub mean_depth: f64,
+}
+
+/// Index key: ascending `(out_degree, C_obw, id)` — the first entry of a
+/// set ordered this way is the level's weakest position, with the id as
+/// an explicit deterministic tie-breaker.
+type StrengthKey = (u32, Bandwidth, NodeId);
+
+/// The planner's verdict for one attach request.
+#[derive(Debug, Clone, Copy)]
+enum AttachPlan {
+    /// Take a free child slot under this member.
+    Free {
+        /// The member offering the slot.
+        under: NodeId,
+    },
+    /// Displace this member, inheriting its position.
+    Displace {
+        /// The member being displaced.
+        victim: NodeId,
+    },
 }
 
 /// One stream's dissemination tree inside a view group.
@@ -67,7 +109,27 @@ pub struct StreamTree {
     /// first entry is the weakest member, which bounds what a joiner can
     /// displace and lets a saturated tree reject weak joiners in
     /// O(log n).
-    strengths: BTreeSet<(u32, Bandwidth, NodeId)>,
+    strengths: BTreeSet<StrengthKey>,
+    /// Members per depth, ascending strength — the displacement half of
+    /// the attach planner. Levels with no member are absent.
+    level_members: BTreeMap<usize, BTreeSet<StrengthKey>>,
+    /// Free-slot holders per depth, ascending strength — the free-slot
+    /// half of the attach planner. Levels with no holder are absent.
+    level_free: BTreeMap<usize, BTreeSet<StrengthKey>>,
+    /// Cumulative level probes performed by the attach planner; scale
+    /// tests assert this stays far below members × joins (i.e. no O(n)
+    /// per-join traversal was reintroduced).
+    attach_probes: u64,
+    /// Cumulative per-node depth updates performed by subtree moves
+    /// (displacement slides the victim's subtree one level down;
+    /// reposition re-roots the parked subtree). Planning is O(log n),
+    /// but *applying* a displacement costs O(victim subtree); this
+    /// counter makes that cost observable so scale tests can bound it.
+    /// The worst case — strictly ascending-strength arrivals, each
+    /// displacing the root of a growing chain — is O(n) per join, the
+    /// same as the replaced BFS; realistic mixes displace weak members
+    /// with few descendants (a degree-0 victim has none).
+    depth_shift_ops: u64,
 }
 
 impl StreamTree {
@@ -79,6 +141,10 @@ impl StreamTree {
             cdn_children: BTreeSet::new(),
             free_slots: BTreeSet::new(),
             strengths: BTreeSet::new(),
+            level_members: BTreeMap::new(),
+            level_free: BTreeMap::new(),
+            attach_probes: 0,
+            depth_shift_ops: 0,
         }
     }
 
@@ -125,6 +191,12 @@ impl StreamTree {
         self.nodes.get(&viewer).map(|n| n.out_degree)
     }
 
+    /// The viewer's total outbound capacity (`C_obw`, Algorithm 1's
+    /// tie-breaker), if a member.
+    pub fn outbound_capacity_of(&self, viewer: NodeId) -> Option<Bandwidth> {
+        self.nodes.get(&viewer).map(|n| n.outbound_capacity)
+    }
+
     /// Free forwarding slots of `viewer`.
     pub fn free_slots_of(&self, viewer: NodeId) -> u32 {
         self.nodes
@@ -134,20 +206,25 @@ impl StreamTree {
     }
 
     /// Hop count from the CDN (direct CDN children are depth 0), if a
-    /// member.
+    /// member. O(1) — depths are maintained, not recomputed.
     pub fn depth_of(&self, viewer: NodeId) -> Option<usize> {
-        let mut depth = 0;
-        let mut cursor = viewer;
-        loop {
-            match self.nodes.get(&cursor)?.parent {
-                TreeParent::Cdn => return Some(depth),
-                TreeParent::Viewer(p) => {
-                    depth += 1;
-                    cursor = p;
-                    debug_assert!(depth <= self.nodes.len(), "cycle in stream tree");
-                }
-            }
-        }
+        self.nodes.get(&viewer).map(|n| n.depth)
+    }
+
+    /// Cumulative level probes performed by the attach planner since the
+    /// tree was created. Each probe is an O(log n) index lookup; the
+    /// total bounds the planner's work and lets scale tests prove no
+    /// O(n) per-join traversal happens.
+    pub fn attach_probes(&self) -> u64 {
+        self.attach_probes
+    }
+
+    /// Cumulative per-node depth updates from subtree moves (see the
+    /// `depth_shift_ops` field docs): the *apply* cost of displacements
+    /// and repositions, complementing [`StreamTree::attach_probes`]'
+    /// planning cost.
+    pub fn depth_shift_ops(&self) -> u64 {
+        self.depth_shift_ops
     }
 
     /// Iterates over all member viewers (unordered).
@@ -155,18 +232,92 @@ impl StreamTree {
         self.nodes.keys().copied()
     }
 
-    /// Re-derives `viewer`'s free-slot index entry from its current
-    /// child count; call after any change to its children.
+    /// The member's `(out_degree, C_obw, id)` index key.
+    fn strength_key(&self, viewer: NodeId) -> StrengthKey {
+        let n = &self.nodes[&viewer];
+        (n.out_degree, n.outbound_capacity, viewer)
+    }
+
+    /// Adds `viewer` (whose `depth` must already be correct) to the
+    /// per-level member index.
+    fn level_insert(&mut self, viewer: NodeId) {
+        let depth = self.nodes[&viewer].depth;
+        let key = self.strength_key(viewer);
+        self.level_members.entry(depth).or_default().insert(key);
+    }
+
+    /// Removes `viewer` from both per-level indexes at its current depth.
+    fn level_remove(&mut self, viewer: NodeId) {
+        let depth = self.nodes[&viewer].depth;
+        let key = self.strength_key(viewer);
+        if let Some(set) = self.level_members.get_mut(&depth) {
+            set.remove(&key);
+            if set.is_empty() {
+                self.level_members.remove(&depth);
+            }
+        }
+        self.level_free_remove(depth, &key);
+    }
+
+    /// Removes `key` from the level-`depth` free-slot index, pruning the
+    /// level when it empties.
+    fn level_free_remove(&mut self, depth: usize, key: &StrengthKey) {
+        if let Some(set) = self.level_free.get_mut(&depth) {
+            set.remove(key);
+            if set.is_empty() {
+                self.level_free.remove(&depth);
+            }
+        }
+    }
+
+    /// Re-derives `viewer`'s free-slot index entries (flat and per-level)
+    /// from its current child count; call after any change to its
+    /// children or depth.
     fn refresh_slot(&mut self, viewer: NodeId) {
-        let has_free = self
-            .nodes
-            .get(&viewer)
-            .map(|n| (n.children.len() as u32) < n.out_degree)
-            .unwrap_or(false);
+        let Some(n) = self.nodes.get(&viewer) else {
+            self.free_slots.remove(&viewer);
+            return;
+        };
+        let has_free = (n.children.len() as u32) < n.out_degree;
+        let depth = n.depth;
+        let key = (n.out_degree, n.outbound_capacity, viewer);
         if has_free {
             self.free_slots.insert(viewer);
+            self.level_free.entry(depth).or_default().insert(key);
         } else {
             self.free_slots.remove(&viewer);
+            self.level_free_remove(depth, &key);
+        }
+    }
+
+    /// `viewer` plus every descendant, in BFS order.
+    fn subtree_of(&self, root: NodeId) -> Vec<NodeId> {
+        let mut out = vec![root];
+        let mut i = 0;
+        while i < out.len() {
+            out.extend(self.nodes[&out[i]].children.iter().copied());
+            i += 1;
+        }
+        out
+    }
+
+    /// Shifts the depth of every member of `root`'s subtree by `delta`,
+    /// keeping the level indexes in sync. O(subtree size); subtree moves
+    /// (displacement, victim re-rooting) are the only places depth can
+    /// change for more than one node.
+    fn shift_subtree(&mut self, root: NodeId, delta: isize) {
+        if delta == 0 {
+            return;
+        }
+        for v in self.subtree_of(root) {
+            self.depth_shift_ops += 1;
+            self.level_remove(v);
+            {
+                let n = self.nodes.get_mut(&v).expect("subtree member");
+                n.depth = (n.depth as isize + delta) as usize;
+            }
+            self.level_insert(v);
+            self.refresh_slot(v);
         }
     }
 
@@ -180,6 +331,48 @@ impl StreamTree {
             .find(|&&(_, _, id)| Some(id) != exclude)
             .map(|&(d, c, _)| deg > d || (deg == d && cap > c))
             .unwrap_or(false)
+    }
+
+    /// The depth-aware attach planner: reproduces Algorithm 1's BFS
+    /// decision from the per-level indexes alone.
+    ///
+    /// Walking depths shallow-to-deep, each step probes (a) the first
+    /// free-slot holder one level up — the BFS offers free child slots of
+    /// level-`d−1` parents before level-`d` members — and (b) the
+    /// level's weakest member, displaced iff the joiner is strictly
+    /// stronger in `(out_degree, C_obw)`. Ties among equal-strength
+    /// candidates break on the lowest id (the BFS's stable scan order,
+    /// made explicit).
+    fn plan_attach(
+        &mut self,
+        out_degree: u32,
+        outbound_capacity: Bandwidth,
+        can_displace: bool,
+    ) -> Option<AttachPlan> {
+        let deepest = match self.level_members.last_key_value() {
+            Some((&d, _)) => d,
+            None => return None,
+        };
+        for d in 0..=deepest + 1 {
+            self.attach_probes += 1;
+            if d > 0 {
+                if let Some(set) = self.level_free.get(&(d - 1)) {
+                    if let Some(&(_, _, under)) = set.first() {
+                        return Some(AttachPlan::Free { under });
+                    }
+                }
+            }
+            if can_displace {
+                if let Some(set) = self.level_members.get(&d) {
+                    if let Some(&(wdeg, wcap, victim)) = set.first() {
+                        if out_degree > wdeg || (out_degree == wdeg && outbound_capacity > wcap) {
+                            return Some(AttachPlan::Displace { victim });
+                        }
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// **Algorithm 1 (degree push-down).** Tries to place `viewer` (with
@@ -205,77 +398,34 @@ impl StreamTree {
             self.stream
         );
         // Saturated fast path: with no free slot anywhere and no member
-        // weaker than the joiner, the scan below can only fail — answer
-        // in O(log n) instead of walking the whole tree. (A zero-degree
-        // joiner cannot displace at all; see the rule below.)
+        // weaker than the joiner, the planner below can only fail —
+        // answer in O(log n). (A zero-degree joiner cannot displace at
+        // all; see the rule below.)
         if self.free_slots.is_empty()
             && !(out_degree > 0 && self.beats_weakest(out_degree, outbound_capacity, None))
         {
             return None;
         }
-        // BFS level by level; per level, ascending (out_degree, C_obw) so
-        // the weakest position is displaced first and virtual free slots
-        // (deg −1) are preferred over displacement.
-        #[derive(Clone, Copy)]
-        enum Slot {
-            /// A real member that may be displaced.
-            Occupied(NodeId),
-            /// A free child slot under the given member.
-            Free(NodeId),
-        }
-        let mut level: Vec<Slot> = self
-            .cdn_children
-            .iter()
-            .map(|&c| Slot::Occupied(c))
-            .collect();
-        while !level.is_empty() {
-            // Ascending order of (degree, capacity); free slots first.
-            level.sort_by_key(|slot| match *slot {
-                Slot::Free(_) => (-1i64, Bandwidth::ZERO),
-                Slot::Occupied(z) => {
-                    let node = &self.nodes[&z];
-                    (node.out_degree as i64, node.outbound_capacity)
-                }
-            });
-            let mut next_level: Vec<Slot> = Vec::new();
-            for slot in level {
-                match slot {
-                    Slot::Free(under) => {
-                        // Virtual node of out-degree −1: any viewer wins.
-                        self.attach(
-                            viewer,
-                            out_degree,
-                            outbound_capacity,
-                            TreeParent::Viewer(under),
-                        );
-                        return Some(TreeParent::Viewer(under));
-                    }
-                    Slot::Occupied(z) => {
-                        let node = &self.nodes[&z];
-                        // Displacement makes z a child of the joiner, so
-                        // the joiner must have a slot to serve it from —
-                        // a zero-degree viewer can only take free slots.
-                        let displace = out_degree > 0
-                            && (out_degree > node.out_degree
-                                || (out_degree == node.out_degree
-                                    && outbound_capacity > node.outbound_capacity));
-                        if displace {
-                            let parent = node.parent;
-                            self.displace(viewer, out_degree, outbound_capacity, z);
-                            return Some(parent);
-                        }
-                        for &child in &self.nodes[&z].children {
-                            next_level.push(Slot::Occupied(child));
-                        }
-                        for _ in 0..self.free_slots_of(z) {
-                            next_level.push(Slot::Free(z));
-                        }
-                    }
-                }
+        // Displacement makes the victim a child of the joiner, so the
+        // joiner must have a slot to serve it from — a zero-degree viewer
+        // can only take free slots.
+        match self.plan_attach(out_degree, outbound_capacity, out_degree > 0) {
+            Some(AttachPlan::Free { under }) => {
+                self.attach(
+                    viewer,
+                    out_degree,
+                    outbound_capacity,
+                    TreeParent::Viewer(under),
+                );
+                Some(TreeParent::Viewer(under))
             }
-            level = next_level;
+            Some(AttachPlan::Displace { victim }) => {
+                let parent = self.nodes[&victim].parent;
+                self.displace(viewer, out_degree, outbound_capacity, victim);
+                Some(parent)
+            }
+            None => None,
         }
-        None
     }
 
     /// Attaches `viewer` directly under the CDN root. The caller is
@@ -332,9 +482,10 @@ impl StreamTree {
     }
 
     /// Re-runs degree push-down for an *existing* member (a victim parked
-    /// at the CDN root): detaches it, searches the remaining tree for a
-    /// position (its own subtree is unreachable during the search, so no
-    /// cycle can form), and re-attaches it — keeping its children.
+    /// at the CDN root): detaches it, plans a position over the remaining
+    /// tree (its own subtree is hidden from the level indexes during the
+    /// search, so no cycle can form), and re-attaches it — keeping its
+    /// children.
     ///
     /// Returns the new parent, or `None` if no position exists (the
     /// viewer is restored to the CDN root in that case).
@@ -347,9 +498,15 @@ impl StreamTree {
             self.cdn_children.contains(&viewer),
             "reposition requires {viewer} to be parked at the CDN"
         );
-        // Detach: the viewer's subtree becomes unreachable from the root,
-        // excluding it from the BFS below.
+        // Detach: hide the viewer's subtree from the planner indexes so
+        // neither its free slots nor its members are candidates (the
+        // viewer cannot become its own descendant).
         self.cdn_children.remove(&viewer);
+        let subtree = self.subtree_of(viewer);
+        self.depth_shift_ops += subtree.len() as u64;
+        for &v in &subtree {
+            self.level_remove(v);
+        }
         let (deg, cap, has_spare_slot) = {
             let n = &self.nodes[&viewer];
             (
@@ -358,95 +515,75 @@ impl StreamTree {
                 (n.children.len() as u32) < n.out_degree,
             )
         };
-        // Saturated fast path: if the only free slot anywhere is the
-        // viewer's own (it cannot be its own parent) and displacement is
-        // ruled out — no spare slot to serve a displaced child from, or
-        // every other member outranks us — the scan below must fail.
-        // (Conservative: free slots inside the viewer's unreachable
-        // subtree fall through to the scan, which handles them.)
-        let only_own_slot = self.free_slots.iter().all(|&id| id == viewer);
-        if only_own_slot && !(has_spare_slot && self.beats_weakest(deg, cap, Some(viewer))) {
-            self.cdn_children.insert(viewer);
-            return None;
-        }
-
-        #[derive(Clone, Copy)]
-        enum Slot {
-            Occupied(NodeId),
-            Free(NodeId),
-        }
-        let mut level: Vec<Slot> = self
-            .cdn_children
-            .iter()
-            .map(|&c| Slot::Occupied(c))
-            .collect();
-        while !level.is_empty() {
-            level.sort_by_key(|slot| match *slot {
-                Slot::Free(_) => (-1i64, Bandwidth::ZERO),
-                Slot::Occupied(z) => {
-                    let node = &self.nodes[&z];
-                    (node.out_degree as i64, node.outbound_capacity)
+        // Displacement makes the victim a child of the repositioned
+        // viewer, so the viewer needs a spare slot of its own (unlike a
+        // fresh join, it may carry children).
+        match self.plan_attach(deg, cap, has_spare_slot) {
+            None => {
+                // No position: restore the CDN attachment and the hidden
+                // index entries (depths unchanged).
+                for &v in &subtree {
+                    self.level_insert(v);
+                    self.refresh_slot(v);
                 }
-            });
-            let mut next_level: Vec<Slot> = Vec::new();
-            for slot in level {
-                match slot {
-                    Slot::Free(under) => {
-                        self.nodes
-                            .get_mut(&under)
-                            .expect("member")
-                            .children
-                            .insert(viewer);
-                        self.nodes.get_mut(&viewer).expect("member").parent =
-                            TreeParent::Viewer(under);
-                        self.refresh_slot(under);
-                        return Some(TreeParent::Viewer(under));
-                    }
-                    Slot::Occupied(z) => {
-                        let node = &self.nodes[&z];
-                        // Displacement makes z a child of the repositioned
-                        // viewer, so the viewer needs a spare slot of its
-                        // own (unlike a fresh join, it may carry children).
-                        let displace = has_spare_slot
-                            && (deg > node.out_degree
-                                || (deg == node.out_degree && cap > node.outbound_capacity));
-                        if displace {
-                            let old_parent = node.parent;
-                            match old_parent {
-                                TreeParent::Cdn => {
-                                    self.cdn_children.remove(&z);
-                                    self.cdn_children.insert(viewer);
-                                }
-                                TreeParent::Viewer(p) => {
-                                    let pnode = self.nodes.get_mut(&p).expect("member");
-                                    pnode.children.remove(&z);
-                                    pnode.children.insert(viewer);
-                                }
-                            }
-                            self.nodes.get_mut(&z).expect("member").parent =
-                                TreeParent::Viewer(viewer);
-                            let vnode = self.nodes.get_mut(&viewer).expect("member");
-                            vnode.parent = old_parent;
-                            vnode.children.insert(z);
-                            // z's old parent swapped z for the viewer
-                            // (count unchanged); the viewer gained z.
-                            self.refresh_slot(viewer);
-                            return Some(old_parent);
-                        }
-                        for &child in &self.nodes[&z].children {
-                            next_level.push(Slot::Occupied(child));
-                        }
-                        for _ in 0..self.free_slots_of(z) {
-                            next_level.push(Slot::Free(z));
-                        }
-                    }
-                }
+                self.cdn_children.insert(viewer);
+                None
             }
-            level = next_level;
+            Some(AttachPlan::Free { under }) => {
+                let new_depth = self.nodes[&under].depth + 1;
+                self.nodes
+                    .get_mut(&under)
+                    .expect("member")
+                    .children
+                    .insert(viewer);
+                self.nodes.get_mut(&viewer).expect("member").parent = TreeParent::Viewer(under);
+                // The whole subtree hung at depth 0; it now hangs at
+                // `new_depth`.
+                self.depth_shift_ops += subtree.len() as u64;
+                for &v in &subtree {
+                    self.nodes.get_mut(&v).expect("member").depth += new_depth;
+                    self.level_insert(v);
+                    self.refresh_slot(v);
+                }
+                self.refresh_slot(under);
+                Some(TreeParent::Viewer(under))
+            }
+            Some(AttachPlan::Displace { victim: z }) => {
+                let z_depth = self.nodes[&z].depth;
+                let old_parent = self.nodes[&z].parent;
+                match old_parent {
+                    TreeParent::Cdn => {
+                        self.cdn_children.remove(&z);
+                        self.cdn_children.insert(viewer);
+                    }
+                    TreeParent::Viewer(p) => {
+                        let pnode = self.nodes.get_mut(&p).expect("member");
+                        pnode.children.remove(&z);
+                        pnode.children.insert(viewer);
+                    }
+                }
+                self.nodes.get_mut(&z).expect("member").parent = TreeParent::Viewer(viewer);
+                {
+                    let vnode = self.nodes.get_mut(&viewer).expect("member");
+                    vnode.parent = old_parent;
+                    vnode.children.insert(z);
+                }
+                // z and its subtree slide one level down under the
+                // repositioned viewer; the viewer's subtree moves from
+                // the root to z's old position.
+                self.shift_subtree(z, 1);
+                for &v in &subtree {
+                    self.nodes.get_mut(&v).expect("member").depth += z_depth;
+                    self.level_insert(v);
+                    self.refresh_slot(v);
+                }
+                // z's old parent swapped z for the viewer (count
+                // unchanged); the viewer gained z.
+                self.depth_shift_ops += subtree.len() as u64;
+                self.refresh_slot(viewer);
+                Some(old_parent)
+            }
         }
-        // No position: restore the CDN attachment.
-        self.cdn_children.insert(viewer);
-        None
     }
 
     fn attach(
@@ -461,19 +598,22 @@ impl StreamTree {
             "viewer {viewer} already in tree for {}",
             self.stream
         );
-        match parent {
+        let depth = match parent {
             TreeParent::Cdn => {
                 self.cdn_children.insert(viewer);
+                0
             }
             TreeParent::Viewer(p) => {
+                let pdepth = self.nodes[&p].depth;
                 let pnode = self.nodes.get_mut(&p).expect("parent is a member");
                 debug_assert!(
                     (pnode.children.len() as u32) < pnode.out_degree,
                     "attach exceeds parent out-degree"
                 );
                 pnode.children.insert(viewer);
+                pdepth + 1
             }
-        }
+        };
         self.nodes.insert(
             viewer,
             TreeNode {
@@ -481,10 +621,12 @@ impl StreamTree {
                 outbound_capacity,
                 parent,
                 children: BTreeSet::new(),
+                depth,
             },
         );
         self.strengths
             .insert((out_degree, outbound_capacity, viewer));
+        self.level_insert(viewer);
         self.refresh_slot(viewer);
         if let TreeParent::Viewer(p) = parent {
             self.refresh_slot(p);
@@ -501,6 +643,7 @@ impl StreamTree {
         z: NodeId,
     ) {
         let old_parent = self.nodes[&z].parent;
+        let z_depth = self.nodes[&z].depth;
         match old_parent {
             TreeParent::Cdn => {
                 self.cdn_children.remove(&z);
@@ -520,12 +663,16 @@ impl StreamTree {
                 outbound_capacity,
                 parent: old_parent,
                 children: BTreeSet::from([z]),
+                depth: z_depth,
             },
         );
         // z swapped places with the joiner, so its old parent's child
-        // count (and z's own) are unchanged; only the joiner is new.
+        // count (and z's own) are unchanged; only the joiner is new, and
+        // z's subtree slides one level down.
         self.strengths
             .insert((out_degree, outbound_capacity, viewer));
+        self.level_insert(viewer);
+        self.shift_subtree(z, 1);
         self.refresh_slot(viewer);
     }
 
@@ -538,6 +685,10 @@ impl StreamTree {
     ///
     /// Panics if `viewer` is not a member.
     pub fn remove(&mut self, viewer: NodeId) -> Vec<NodeId> {
+        // Clear the index entries while the node is still present.
+        if self.contains(viewer) {
+            self.level_remove(viewer);
+        }
         let node = self
             .nodes
             .remove(&viewer)
@@ -560,10 +711,12 @@ impl StreamTree {
         // Victims keep their subtrees but have no parent until the caller
         // re-attaches them; mark them as CDN children so the tree stays
         // consistent (the caller's recovery either confirms the CDN serve
-        // or re-runs push-down).
+        // or re-runs push-down). Each victim subtree re-roots at depth 0.
         for &v in &victims {
+            let old_depth = self.nodes[&v].depth;
             self.nodes.get_mut(&v).expect("child is a member").parent = TreeParent::Cdn;
             self.cdn_children.insert(v);
+            self.shift_subtree(v, -(old_depth as isize));
         }
         victims
     }
@@ -576,6 +729,7 @@ impl StreamTree {
     /// Panics if `viewer` is not a member.
     pub fn reparent_to_cdn(&mut self, viewer: NodeId) {
         let node = self.nodes.get(&viewer).expect("viewer is a member");
+        let old_depth = node.depth;
         if let TreeParent::Viewer(p) = node.parent {
             if let Some(pnode) = self.nodes.get_mut(&p) {
                 pnode.children.remove(&viewer);
@@ -587,45 +741,41 @@ impl StreamTree {
             .expect("viewer is a member")
             .parent = TreeParent::Cdn;
         self.cdn_children.insert(viewer);
+        self.shift_subtree(viewer, -(old_depth as isize));
     }
 
-    /// Shape statistics. One root-down traversal computes every depth
-    /// (O(n)), instead of walking each member's parent chain to the root
-    /// (O(n·depth)).
+    /// Shape statistics, computed from the per-level member index in
+    /// O(levels) — no traversal.
     pub fn metrics(&self) -> TreeMetrics {
         let mut max_depth = 0usize;
         let mut total_depth = 0usize;
-        let mut visited = 0usize;
-        let mut stack: Vec<(NodeId, usize)> =
-            self.cdn_children.iter().map(|&c| (c, 0usize)).collect();
-        while let Some((v, depth)) = stack.pop() {
-            visited += 1;
-            max_depth = max_depth.max(depth);
-            total_depth += depth;
-            for &child in &self.nodes[&v].children {
-                stack.push((child, depth + 1));
-            }
+        for (&d, set) in &self.level_members {
+            max_depth = d; // keys iterate ascending; the last one sticks
+            total_depth += d * set.len();
         }
-        debug_assert_eq!(visited, self.nodes.len(), "unreachable members");
+        let members = self.nodes.len();
         TreeMetrics {
-            members: self.nodes.len(),
+            members,
             cdn_children: self.cdn_children.len(),
             max_depth,
-            mean_depth: if visited == 0 {
+            mean_depth: if members == 0 {
                 0.0
             } else {
-                total_depth as f64 / visited as f64
+                total_depth as f64 / members as f64
             },
         }
     }
 
     /// Verifies structural invariants; used by tests and debug assertions.
     ///
-    /// Checks: parent/child symmetry, out-degree bounds, acyclicity, and
-    /// that every member is reachable from the CDN root.
+    /// Checks: parent/child symmetry, out-degree bounds, acyclicity,
+    /// reachability of every member from the CDN root, and that all five
+    /// maintained indexes (free slots, strengths, stored depths, level
+    /// members, level free-slots) match a from-scratch recomputation.
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut reachable: BTreeSet<NodeId> = BTreeSet::new();
-        let mut stack: Vec<NodeId> = self.cdn_children.iter().copied().collect();
+        let mut depths: HashMap<NodeId, usize> = HashMap::new();
+        let mut stack: Vec<(NodeId, usize)> = Vec::new();
         for &c in &self.cdn_children {
             let node = self
                 .nodes
@@ -634,17 +784,25 @@ impl StreamTree {
             if node.parent != TreeParent::Cdn {
                 return Err(format!("cdn child {c} has non-CDN parent"));
             }
+            stack.push((c, 0));
         }
-        while let Some(v) = stack.pop() {
+        while let Some((v, depth)) = stack.pop() {
             if !reachable.insert(v) {
                 return Err(format!("cycle detected at {v}"));
             }
+            depths.insert(v, depth);
             let node = &self.nodes[&v];
             if node.children.len() as u32 > node.out_degree {
                 return Err(format!(
                     "{v} has {} children but out-degree {}",
                     node.children.len(),
                     node.out_degree
+                ));
+            }
+            if node.depth != depth {
+                return Err(format!(
+                    "{v} stores depth {} but sits at depth {depth}",
+                    node.depth
                 ));
             }
             for &c in &node.children {
@@ -655,7 +813,7 @@ impl StreamTree {
                 if child.parent != TreeParent::Viewer(v) {
                     return Err(format!("child {c} does not point back to {v}"));
                 }
-                stack.push(c);
+                stack.push((c, depth + 1));
             }
         }
         if reachable.len() != self.nodes.len() {
@@ -677,13 +835,34 @@ impl StreamTree {
                 self.free_slots, expected_free
             ));
         }
-        let expected_strengths: BTreeSet<(u32, Bandwidth, NodeId)> = self
+        let expected_strengths: BTreeSet<StrengthKey> = self
             .nodes
             .iter()
             .map(|(&id, n)| (n.out_degree, n.outbound_capacity, id))
             .collect();
         if self.strengths != expected_strengths {
             return Err("strength index out of sync with members".into());
+        }
+        let mut expected_levels: BTreeMap<usize, BTreeSet<StrengthKey>> = BTreeMap::new();
+        let mut expected_level_free: BTreeMap<usize, BTreeSet<StrengthKey>> = BTreeMap::new();
+        for (&id, n) in &self.nodes {
+            let key = (n.out_degree, n.outbound_capacity, id);
+            expected_levels.entry(n.depth).or_default().insert(key);
+            if (n.children.len() as u32) < n.out_degree {
+                expected_level_free.entry(n.depth).or_default().insert(key);
+            }
+        }
+        if self.level_members != expected_levels {
+            return Err(format!(
+                "level member index out of sync: {:?} vs {:?}",
+                self.level_members, expected_levels
+            ));
+        }
+        if self.level_free != expected_level_free {
+            return Err(format!(
+                "level free-slot index out of sync: {:?} vs {:?}",
+                self.level_free, expected_level_free
+            ));
         }
         Ok(())
     }
@@ -855,6 +1034,7 @@ mod tests {
         assert!(!victims.is_empty());
         for &victim in &victims {
             assert_eq!(tree.parent_of(victim), Some(TreeParent::Cdn));
+            assert_eq!(tree.depth_of(victim), Some(0));
         }
         tree.check_invariants().unwrap();
     }
@@ -994,5 +1174,33 @@ mod tests {
         // (v2 has no slots either).
         assert_eq!(tree.reposition_from_cdn(v[0]), None);
         tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn depths_track_displacement_shifts() {
+        let v = viewers(4);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 1, mbps(2));
+        tree.insert(v[1], 0, mbps(0)); // depth 1 under v0
+        assert_eq!(tree.depth_of(v[1]), Some(1));
+        // v2 displaces v0 at the root; v0's subtree slides down.
+        tree.insert(v[2], 2, mbps(8));
+        assert_eq!(tree.depth_of(v[2]), Some(0));
+        assert_eq!(tree.depth_of(v[0]), Some(1));
+        assert_eq!(tree.depth_of(v[1]), Some(2));
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn attach_probes_accumulate() {
+        let v = viewers(3);
+        let mut tree = StreamTree::new(stream());
+        tree.attach_to_cdn(v[0], 2, mbps(4));
+        assert_eq!(tree.attach_probes(), 0);
+        tree.insert(v[1], 0, mbps(0));
+        let after_one = tree.attach_probes();
+        assert!(after_one > 0, "planner ran at least one probe");
+        tree.insert(v[2], 0, mbps(0));
+        assert!(tree.attach_probes() > after_one);
     }
 }

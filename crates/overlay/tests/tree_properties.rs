@@ -19,6 +19,79 @@ fn stream() -> StreamId {
     StreamId::new(SiteId::new(0), 0)
 }
 
+/// What a reference breadth-first scan would decide for one attach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefPlan {
+    /// Attach to a free slot under this member.
+    Free(NodeId),
+    /// Displace this member.
+    Displace(NodeId),
+}
+
+/// A from-scratch reference of Algorithm 1's breadth-first scan, built
+/// only from the tree's public getters (members, depths, free slots,
+/// strengths) with no access to the maintained planner indexes: walking
+/// depths shallow-to-deep, free child slots of level-`d−1` parents are
+/// offered before displacement of level-`d` members; candidates order by
+/// ascending `(out_degree, C_obw, id)`, and displacement requires the
+/// joiner to be strictly stronger in `(out_degree, C_obw)`.
+fn reference_bfs_plan(
+    tree: &StreamTree,
+    deg: u32,
+    cap: Bandwidth,
+    can_displace: bool,
+) -> Option<RefPlan> {
+    let mut levels: std::collections::BTreeMap<usize, Vec<(u32, Bandwidth, NodeId)>> =
+        Default::default();
+    for m in tree.members() {
+        let d = tree.depth_of(m).expect("member has a depth");
+        levels.entry(d).or_default().push((
+            tree.out_degree_of(m).expect("member"),
+            tree.outbound_capacity_of(m).expect("member"),
+            m,
+        ));
+    }
+    let deepest = levels.keys().next_back().copied()?;
+    for set in levels.values_mut() {
+        set.sort_unstable();
+    }
+    for d in 0..=deepest + 1 {
+        if d > 0 {
+            if let Some(above) = levels.get(&(d - 1)) {
+                if let Some(&(_, _, parent)) =
+                    above.iter().find(|&&(_, _, id)| tree.free_slots_of(id) > 0)
+                {
+                    return Some(RefPlan::Free(parent));
+                }
+            }
+        }
+        if can_displace {
+            if let Some(level) = levels.get(&d) {
+                let &(wdeg, wcap, victim) = level.first().expect("levels are non-empty");
+                if deg > wdeg || (deg == wdeg && cap > wcap) {
+                    return Some(RefPlan::Displace(victim));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Recomputes a member's depth by walking its parent chain.
+fn fresh_depth(tree: &StreamTree, member: NodeId) -> usize {
+    let mut depth = 0;
+    let mut cursor = member;
+    loop {
+        match tree.parent_of(cursor).expect("member chain stays in tree") {
+            TreeParent::Cdn => return depth,
+            TreeParent::Viewer(p) => {
+                depth += 1;
+                cursor = p;
+            }
+        }
+    }
+}
+
 proptest! {
     /// Join-only histories: invariants hold, every join lands somewhere
     /// (tree or CDN), and the lexicographic (degree, capacity) edge
@@ -79,6 +152,107 @@ proptest! {
                 "{:?}", tree.check_invariants());
         }
         prop_assert_eq!(tree.len(), present.len());
+    }
+
+    /// The per-level attach planner reproduces the reference BFS
+    /// decision of Algorithm 1: across random insert/remove/reposition
+    /// sequences, every insert lands exactly where a from-scratch
+    /// breadth-first scan over the current tree would put it.
+    #[test]
+    fn planner_matches_reference_bfs(
+        ops in proptest::collection::vec((0u8..4, 0u32..5, 0u32..8), 1..100),
+    ) {
+        let viewers = ids(ops.len());
+        let mut tree = StreamTree::new(stream());
+        let mut present: Vec<NodeId> = Vec::new();
+        for (i, &(op, deg, cap_mbps)) in ops.iter().enumerate() {
+            let cap = Bandwidth::from_mbps(cap_mbps as u64);
+            match op {
+                // Three in four ops insert, so trees grow deep enough to
+                // exercise multi-level planning.
+                0..=2 => {
+                    let v = viewers[i];
+                    let expected = reference_bfs_plan(&tree, deg, cap, deg > 0);
+                    let got = tree.insert(v, deg, cap);
+                    match expected {
+                        None => {
+                            prop_assert_eq!(got, None, "planner found a position BFS rejects");
+                            tree.attach_to_cdn(v, deg, cap);
+                        }
+                        Some(RefPlan::Free(parent)) => {
+                            prop_assert_eq!(got, Some(TreeParent::Viewer(parent)),
+                                "planner picked a different free slot than the BFS");
+                        }
+                        Some(RefPlan::Displace(victim)) => {
+                            // The insert returns the victim's old parent;
+                            // the victim must now hang under the joiner.
+                            prop_assert!(got.is_some());
+                            prop_assert_eq!(tree.parent_of(victim), Some(TreeParent::Viewer(v)),
+                                "planner displaced a different victim than the BFS");
+                        }
+                    }
+                    present.push(v);
+                }
+                3 if !present.is_empty() => {
+                    let idx = (i * 2654435761) % present.len();
+                    let v = present.swap_remove(idx);
+                    tree.remove(v);
+                }
+                _ => {
+                    // Reposition a random CDN child (if any) instead.
+                    let cdn: Vec<NodeId> = tree.cdn_children().collect();
+                    if !cdn.is_empty() {
+                        let v = cdn[(i * 7919) % cdn.len()];
+                        let _ = tree.reposition_from_cdn(v);
+                    }
+                }
+            }
+            prop_assert!(tree.check_invariants().is_ok(),
+                "{:?}", tree.check_invariants());
+        }
+    }
+
+    /// Interleaved remove/reattach sequences keep the maintained depth
+    /// bookkeeping (`metrics().max_depth`, `depth_of`) consistent with a
+    /// fresh recomputation from the parent pointers.
+    #[test]
+    fn remove_reattach_keeps_depth_metrics_fresh(
+        ops in proptest::collection::vec((any::<bool>(), 1u32..5), 1..80),
+    ) {
+        let viewers = ids(ops.len());
+        let mut tree = StreamTree::new(stream());
+        let mut present: Vec<NodeId> = Vec::new();
+        for (i, &(is_join, deg)) in ops.iter().enumerate() {
+            if is_join || present.len() < 2 {
+                let v = viewers[i];
+                let cap = Bandwidth::from_mbps(deg as u64);
+                if tree.insert(v, deg, cap).is_none() {
+                    tree.attach_to_cdn(v, deg, cap);
+                }
+                present.push(v);
+            } else {
+                let idx = (i * 7919) % present.len();
+                let v = present.swap_remove(idx);
+                let victims = tree.remove(v);
+                // Reattach one victim P2P, mirroring §VI recovery.
+                if let Some(&victim) = victims.first() {
+                    let _ = tree.reposition_from_cdn(victim);
+                }
+            }
+            prop_assert_eq!(tree.len(), present.len());
+            let fresh: Vec<usize> = tree
+                .members()
+                .map(|m| fresh_depth(&tree, m))
+                .collect();
+            let fresh_max = fresh.iter().copied().max().unwrap_or(0);
+            let metrics = tree.metrics();
+            prop_assert_eq!(metrics.max_depth, fresh_max,
+                "maintained max_depth diverged from recomputation");
+            prop_assert_eq!(metrics.members, present.len());
+            for (m, d) in tree.members().collect::<Vec<_>>().into_iter().zip(fresh) {
+                prop_assert_eq!(tree.depth_of(m), Some(d));
+            }
+        }
     }
 
     /// Depth never exceeds member count, and with all-equal degrees ≥ 1

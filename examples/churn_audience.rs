@@ -1,0 +1,81 @@
+//! A sustained audience under continuous churn — the event-driven
+//! counterpart of the `flash_crowd` example.
+//!
+//! 2,000 viewers join at time zero, then a steady-state churn process
+//! (Poisson arrivals, lognormal dwell, 10% abrupt failures among the
+//! leavers) keeps 5% of the audience per minute flowing through the
+//! overlay for ten simulated minutes. Every join, departure, failure,
+//! victim recovery and reposition is an engine event; the GSC monitor
+//! samples the population every ten seconds.
+//!
+//! ```sh
+//! cargo run --release -p telecast-apps --example churn_audience
+//! cargo run --release -p telecast-apps --example churn_audience -- large # 20,000 viewers
+//! ```
+
+use telecast::{DelayModelChoice, SessionConfig, TelecastSession};
+use telecast_cdn::CdnConfig;
+use telecast_media::ChurnSpec;
+use telecast_net::{Bandwidth, BandwidthProfile};
+use telecast_sim::{SimDuration, SimTime};
+
+fn main() {
+    let large = std::env::args().nth(1).as_deref() == Some("large");
+    let viewers: usize = if large { 20_000 } else { 2_000 };
+    let minutes = 10u64;
+    let churn_per_minute = 0.05;
+
+    let config = SessionConfig::default()
+        .with_outbound(BandwidthProfile::uniform_mbps(2, 14))
+        .with_cdn(CdnConfig::default().with_outbound(Bandwidth::from_mbps(viewers as u64 * 5)))
+        .with_delay_model(DelayModelChoice::Auto)
+        .with_monitor_period(SimDuration::from_secs(10))
+        .with_seed(2_024);
+
+    let mut session = TelecastSession::builder(config).viewers(viewers).build();
+    println!(
+        "== churn audience: {viewers} viewers, {:.0}%/min for {minutes} simulated minutes \
+         ({} delays) ==",
+        churn_per_minute * 100.0,
+        session.delay_backend().kind(),
+    );
+
+    let horizon = SimTime::from_secs(minutes * 60);
+    session.start_churn(
+        ChurnSpec::steady_state(viewers, churn_per_minute),
+        horizon,
+        viewers,
+    );
+    session.run_until(horizon);
+
+    let m = session.metrics();
+    println!("  connected at horizon : {}", session.connected_viewers());
+    println!(
+        "  arrivals/departs/fails : {}/{}/{}",
+        m.churn_arrivals.value(),
+        m.churn_departures.value(),
+        m.churn_failures.value(),
+    );
+    println!(
+        "  victims recovered    : {} ({} repositioned P2P)",
+        m.victims.value(),
+        m.victims_repositioned.value(),
+    );
+    println!("  acceptance ratio ρ   : {:.3}", m.acceptance_ratio());
+    println!("  peak CDN usage       : {:.1} Mbps", m.peak_cdn_mbps());
+    // The monitor's population curve, down-sampled to one line per
+    // simulated minute.
+    println!("  population (per min) :");
+    for (at, pop) in m
+        .population
+        .points()
+        .iter()
+        .filter(|(at, _)| at.as_micros() % 60_000_000 == 0)
+    {
+        println!(
+            "    t={:>4}s {:>8}",
+            at.as_micros() / 1_000_000,
+            *pop as u64
+        );
+    }
+}
