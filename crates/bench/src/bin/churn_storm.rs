@@ -35,6 +35,8 @@ fn main() {
             .unwrap_or(defaults.churn_per_minute),
         backend: args.backend.unwrap_or(defaults.backend),
         seed: args.seed.unwrap_or(defaults.seed),
+        pool_mbps: args.pool_mbps,
+        autoscale: args.autoscale,
     };
 
     println!(
@@ -61,5 +63,14 @@ fn main() {
         "  attach probes/stream   : {:.1}",
         outcome.attach_probes as f64 / outcome.accepted_streams.max(1) as f64
     );
+    if scenario.autoscale {
+        println!(
+            "  autoscale ups/downs    : {}/{} ({} retries, {:.0} Mbps provisioned at horizon)",
+            outcome.autoscale_ups,
+            outcome.autoscale_downs,
+            outcome.join_retries,
+            outcome.final_provisioned_mbps,
+        );
+    }
     telecast_bench::emit(&outcome.figure);
 }

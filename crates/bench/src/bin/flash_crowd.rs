@@ -35,15 +35,22 @@ fn main() {
              (the kickoff is instantaneous; see churn_storm for sustained churn)"
         );
     }
+    if args.autoscale {
+        eprintln!(
+            "warning: flash_crowd ignores --autoscale \
+             (the kickoff completes before a scale tick; see churn_storm/diurnal_wave)"
+        );
+    }
     let viewers = args.viewers.unwrap_or(10_000);
     let backend = args.backend.unwrap_or(DelayModelChoice::Coordinate);
 
     // Paper defaults, with the CDN pool scaled so admission reflects
     // overlay supply rather than an arbitrarily small pool: the flash
     // front is served from the CDN until the first trees grow slots.
+    let pool = Bandwidth::from_mbps(args.pool_mbps.unwrap_or(48_000));
     let config = SessionConfig::default()
         .with_outbound(BandwidthProfile::uniform_mbps(2, 14))
-        .with_cdn(CdnConfig::default().with_outbound(Bandwidth::from_mbps(48_000)))
+        .with_cdn(CdnConfig::default().with_outbound(pool))
         .with_delay_model(backend)
         .with_seed(args.seed.unwrap_or(1_000 + viewers as u64));
 

@@ -11,7 +11,7 @@
 //! runs and machines.
 
 use telecast::{DelayModelChoice, SessionConfig, TelecastSession};
-use telecast_cdn::CdnConfig;
+use telecast_cdn::{AutoscalePolicy, CdnConfig};
 use telecast_media::ChurnSpec;
 use telecast_net::{Bandwidth, BandwidthProfile};
 use telecast_sim::{SimDuration, SimTime};
@@ -32,6 +32,12 @@ pub struct ChurnScenario {
     pub backend: DelayModelChoice,
     /// Master seed.
     pub seed: u64,
+    /// Starting CDN outbound pool in Mbps; `None` keeps the historical
+    /// population-scaled provisioning (`5 Mbps × viewers`, min 3000).
+    pub pool_mbps: Option<u64>,
+    /// Whether the elastic-CDN autoscaler runs (see
+    /// [`crate::autoscale_policy_for`]).
+    pub autoscale: bool,
 }
 
 impl Default for ChurnScenario {
@@ -42,8 +48,18 @@ impl Default for ChurnScenario {
             churn_per_minute: 0.01,
             backend: DelayModelChoice::Coordinate,
             seed: 0xC4_0211,
+            pool_mbps: None,
+            autoscale: false,
         }
     }
+}
+
+/// The autoscale policy the scenario bins share: min = the starting
+/// pool, ceiling = the population-scaled provisioning (`8 Mbps ×
+/// viewers`, min 6000 Mbps), step = a quarter of the starting pool.
+pub fn autoscale_policy_for(pool: Bandwidth, viewers: usize) -> AutoscalePolicy {
+    let ceiling = Bandwidth::from_mbps((viewers as u64 * 8).max(6_000));
+    AutoscalePolicy::for_pool(pool, ceiling)
 }
 
 /// Deterministic outcome of a churn run (everything the JSON reports,
@@ -64,6 +80,18 @@ pub struct ChurnOutcome {
     pub attach_probes: u64,
     /// Streams accepted at admission over the run.
     pub accepted_streams: u64,
+    /// Stream acceptance ratio ρ at the horizon.
+    pub acceptance_ratio: f64,
+    /// Autoscale actions that grew the pool.
+    pub autoscale_ups: u64,
+    /// Autoscale actions that shrank the pool.
+    pub autoscale_downs: u64,
+    /// Parked CDN-rejected joins retried after scale-ups.
+    pub join_retries: u64,
+    /// Joins still parked for retry at the horizon.
+    pub retry_queue_len: usize,
+    /// Provisioned CDN capacity at the horizon, in Mbps.
+    pub final_provisioned_mbps: f64,
 }
 
 /// Runs the scenario and collapses it into the exported figure. Pure in
@@ -72,15 +100,23 @@ pub struct ChurnOutcome {
 pub fn run_churn(scenario: &ChurnScenario) -> ChurnOutcome {
     // Paper defaults with the CDN pool scaled to the population (the
     // prefill front is CDN-served until the first trees grow slots) and
-    // periodic monitoring + adaptation as engine events.
-    let config = SessionConfig::default()
+    // periodic monitoring + adaptation as engine events. `pool_mbps`
+    // overrides the provisioning (deliberately under-provisioned pools
+    // are the autoscaler's test bed).
+    let pool = Bandwidth::from_mbps(
+        scenario
+            .pool_mbps
+            .unwrap_or((scenario.viewers as u64 * 5).max(3_000)),
+    );
+    let mut config = SessionConfig::default()
         .with_outbound(BandwidthProfile::uniform_mbps(2, 14))
-        .with_cdn(CdnConfig::default().with_outbound(Bandwidth::from_mbps(
-            (scenario.viewers as u64 * 5).max(3_000),
-        )))
+        .with_cdn(CdnConfig::default().with_outbound(pool))
         .with_delay_model(scenario.backend)
         .with_monitor_period(SimDuration::from_secs(10))
         .with_seed(scenario.seed);
+    if scenario.autoscale {
+        config = config.with_autoscale(autoscale_policy_for(pool, scenario.viewers));
+    }
 
     let mut session = TelecastSession::builder(config)
         .viewers(scenario.viewers)
@@ -148,6 +184,16 @@ pub fn run_churn(scenario: &ChurnScenario) -> ChurnOutcome {
                     session.depth_shift_total() as f64 / (m.accepted_streams.value().max(1)) as f64,
                 )],
             ),
+            Series::new(
+                "peak_provisioned_mbps",
+                vec![(x, m.provisioned_cdn_mbps.peak())],
+            ),
+            Series::new("autoscale_ups", vec![(x, m.autoscale_ups.value() as f64)]),
+            Series::new(
+                "autoscale_downs",
+                vec![(x, m.autoscale_downs.value() as f64)],
+            ),
+            Series::new("join_retries", vec![(x, m.join_retries.value() as f64)]),
         ],
     };
     ChurnOutcome {
@@ -157,6 +203,12 @@ pub fn run_churn(scenario: &ChurnScenario) -> ChurnOutcome {
         failures: m.churn_failures.value(),
         attach_probes: session.attach_probe_total(),
         accepted_streams: m.accepted_streams.value(),
+        acceptance_ratio: m.acceptance_ratio(),
+        autoscale_ups: m.autoscale_ups.value(),
+        autoscale_downs: m.autoscale_downs.value(),
+        join_retries: m.join_retries.value(),
+        retry_queue_len: session.retry_queue_len(),
+        final_provisioned_mbps: session.cdn().outbound().total().as_mbps_f64(),
         figure,
     }
 }
@@ -174,6 +226,7 @@ mod tests {
             churn_per_minute: 0.05,
             backend: DelayModelChoice::Dense,
             seed: 5,
+            ..ChurnScenario::default()
         });
         assert!(outcome.final_population > 0, "audience collapsed");
         assert!(

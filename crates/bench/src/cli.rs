@@ -22,6 +22,10 @@ pub struct ScenarioArgs {
     pub seed: Option<u64>,
     /// `--churn-pct P`: percent of the population leaving per minute.
     pub churn_pct: Option<f64>,
+    /// `--pool-mbps N`: starting CDN outbound pool in Mbps.
+    pub pool_mbps: Option<u64>,
+    /// `--autoscale`: enable elastic CDN autoscaling.
+    pub autoscale: bool,
 }
 
 impl ScenarioArgs {
@@ -69,17 +73,31 @@ impl ScenarioArgs {
                     let v = next_value(&mut args, "--backend")?;
                     out.backend = Some(parse_backend(&v)?);
                 }
+                "--pool-mbps" => {
+                    let v = next_value(&mut args, "--pool-mbps")?;
+                    let n: u64 = parse_num(&v, "--pool-mbps")?;
+                    if n == 0 {
+                        return Err("--pool-mbps must be positive".into());
+                    }
+                    out.pool_mbps = Some(n);
+                }
+                "--autoscale" => {
+                    out.autoscale = true;
+                }
                 other => {
                     // Bare positional integer = viewer count (the original
-                    // `flash_crowd <N>` interface).
+                    // `flash_crowd <N>` interface). The same positivity
+                    // check as `--viewers` applies — zero viewers would
+                    // panic inside ChurnSpec downstream.
                     match other.parse::<usize>() {
+                        Ok(0) => return Err("viewer count must be positive".into()),
                         Ok(n) => out.viewers = Some(n),
                         Err(_) => {
                             return Err(format!(
                                 "unknown argument `{other}` \
                                  (expected --viewers N, --minutes M, \
                                  --backend dense|coordinate|auto, --seed S, \
-                                 --churn-pct P)"
+                                 --churn-pct P, --pool-mbps N, --autoscale)"
                             ))
                         }
                     }
@@ -144,6 +162,9 @@ mod tests {
             "9",
             "--churn-pct",
             "1.5",
+            "--pool-mbps",
+            "800",
+            "--autoscale",
         ])
         .unwrap();
         assert_eq!(args.viewers, Some(20_000));
@@ -151,6 +172,8 @@ mod tests {
         assert_eq!(args.backend, Some(DelayModelChoice::Coordinate));
         assert_eq!(args.seed, Some(9));
         assert_eq!(args.churn_pct, Some(1.5));
+        assert_eq!(args.pool_mbps, Some(800));
+        assert!(args.autoscale);
     }
 
     #[test]
@@ -165,10 +188,23 @@ mod tests {
         assert!(parse(&["--viewers", "lots"]).is_err());
         assert!(parse(&["--backend", "quantum"]).is_err());
         assert!(parse(&["--churn-pct", "250"]).is_err());
+        assert!(parse(&["--pool-mbps", "0"]).is_err());
         // Zero rates/populations would panic inside ChurnSpec's
         // asserts; the parser must catch them first.
         assert!(parse(&["--churn-pct", "0"]).is_err());
         assert!(parse(&["--viewers", "0"]).is_err());
+    }
+
+    #[test]
+    fn zero_viewers_rejected_in_both_spellings() {
+        // The flag spelling…
+        assert!(parse(&["--viewers", "0"]).is_err());
+        // …and the backwards-compatible bare positional used to disagree:
+        // `flash_crowd 0` slipped a zero through to ChurnSpec's asserts.
+        assert!(parse(&["0"]).is_err());
+        // Positive values still parse through both.
+        assert_eq!(parse(&["--viewers", "7"]).unwrap().viewers, Some(7));
+        assert_eq!(parse(&["7"]).unwrap().viewers, Some(7));
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! The diurnal-wave elastic-CDN scenario: a flash-crowd kickoff into
+//! multiple simulated days of sinusoidally-modulated churn, with the
+//! outbound pool either statically provisioned or tracking the wave
+//! through the autoscaler.
+//!
+//! The audience model composes the two population dynamics the other
+//! scale bins exercise separately: the full population joins at time
+//! zero (`flash_crowd`'s kickoff), then a [`ChurnSpec`] whose arrival
+//! rate follows a [`RateProfile::diurnal_from_trough`] wave replays day
+//! and night over the run. The interesting output is the *provisioned*
+//! CDN capacity staircase: a static pool pays for the peak around the
+//! clock (or rejects the peak if under-provisioned), while the
+//! autoscaled pool follows the audience up and down and bills
+//! accordingly in Mbps-hours.
+//!
+//! Everything the figure reports is a function of the seed alone, so the
+//! JSON export is byte-identical across runs and machines.
+
+use telecast::{DelayModelChoice, SessionConfig, TelecastSession};
+use telecast_cdn::CdnConfig;
+use telecast_media::{ChurnSpec, RateProfile};
+use telecast_net::{Bandwidth, BandwidthProfile};
+use telecast_sim::{SimDuration, SimTime};
+
+use crate::churn::autoscale_policy_for;
+use crate::table::{FigureData, Series};
+
+/// Parameters of one diurnal-wave run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalScenario {
+    /// Mean steady-state population (the wave oscillates around it);
+    /// also the flash-kickoff prefill size.
+    pub viewers: usize,
+    /// Simulated duration in minutes.
+    pub minutes: u64,
+    /// Fraction of the population leaving per minute at the base rate.
+    pub churn_per_minute: f64,
+    /// Length of one compressed "day" (one full diurnal cycle) in
+    /// minutes.
+    pub day_minutes: u64,
+    /// Diurnal amplitude in `[0, 1]` — the arrival rate swings between
+    /// `(1 − a)` and `(1 + a)` times the base rate.
+    pub amplitude: f64,
+    /// Delay substrate.
+    pub backend: DelayModelChoice,
+    /// Master seed.
+    pub seed: u64,
+    /// Starting CDN outbound pool in Mbps; `None` provisions a
+    /// deliberately tight `1 Mbps × viewers` (min 1000) so the wave's
+    /// peaks exceed it without autoscaling.
+    pub pool_mbps: Option<u64>,
+    /// Whether the elastic-CDN autoscaler runs.
+    pub autoscale: bool,
+}
+
+impl Default for DiurnalScenario {
+    fn default() -> Self {
+        DiurnalScenario {
+            viewers: 20_000,
+            minutes: 120,
+            churn_per_minute: 0.10,
+            day_minutes: 40,
+            amplitude: 0.8,
+            backend: DelayModelChoice::Coordinate,
+            seed: 0xD1_0423,
+            pool_mbps: None,
+            autoscale: true,
+        }
+    }
+}
+
+/// Deterministic outcome of a diurnal-wave run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalOutcome {
+    /// The exported figure (`results/diurnal_wave.json`).
+    pub figure: FigureData,
+    /// Connected population at the horizon.
+    pub final_population: usize,
+    /// Stream acceptance ratio ρ at the horizon.
+    pub acceptance_ratio: f64,
+    /// Autoscale actions that grew the pool.
+    pub autoscale_ups: u64,
+    /// Autoscale actions that shrank the pool.
+    pub autoscale_downs: u64,
+    /// Parked CDN-rejected joins retried after scale-ups.
+    pub join_retries: u64,
+    /// Joins still parked for retry at the horizon.
+    pub retry_queue_len: usize,
+    /// Provisioned-capacity samples over the run (seconds, Mbps).
+    pub provisioned_series: Vec<(f64, f64)>,
+    /// Provisioned-capacity bill at the horizon, in dollars
+    /// (Mbps-hours × tariff).
+    pub provisioned_dollars: f64,
+}
+
+/// Runs the scenario. Pure in the seed: equal scenarios produce equal
+/// (`==`, and byte-identical JSON) outcomes regardless of host, thread
+/// count or repetition.
+pub fn run_diurnal(scenario: &DiurnalScenario) -> DiurnalOutcome {
+    let pool = Bandwidth::from_mbps(
+        scenario
+            .pool_mbps
+            .unwrap_or((scenario.viewers as u64).max(1_000)),
+    );
+    let mut config = SessionConfig::default()
+        .with_outbound(BandwidthProfile::uniform_mbps(2, 14))
+        .with_cdn(CdnConfig::default().with_outbound(pool))
+        .with_delay_model(scenario.backend)
+        .with_monitor_period(SimDuration::from_secs(10))
+        .with_seed(scenario.seed);
+    if scenario.autoscale {
+        config = config.with_autoscale(autoscale_policy_for(pool, scenario.viewers));
+    }
+
+    let mut session = TelecastSession::builder(config)
+        .viewers(scenario.viewers)
+        .build();
+    let horizon = SimTime::from_secs(scenario.minutes * 60);
+    let day = SimDuration::from_secs(scenario.day_minutes.max(1) * 60);
+    let spec = ChurnSpec::steady_state(scenario.viewers, scenario.churn_per_minute)
+        .with_rate_profile(RateProfile::diurnal_from_trough(day, scenario.amplitude));
+    session.start_churn(spec, horizon, scenario.viewers);
+    session.run_until(horizon);
+
+    let m = session.metrics();
+    let x = scenario.viewers as f64;
+    let to_xy = |points: &[(SimTime, f64)]| -> Vec<(f64, f64)> {
+        points
+            .iter()
+            .map(|&(at, v)| (at.as_secs_f64(), v))
+            .collect()
+    };
+    let population_series = to_xy(m.population.points());
+    let provisioned_series = to_xy(m.provisioned_cdn_mbps.points());
+    let utilisation_series = to_xy(m.cdn_utilisation.points());
+    let provisioned_dollars = session.cdn().provisioned_meter().dollars_at(horizon);
+    let figure = FigureData {
+        id: "diurnal_wave".into(),
+        title: format!(
+            "Diurnal wave: {} viewers, {:.0}% amplitude over {}-minute days for {} minutes \
+             ({} pool, autoscale {})",
+            scenario.viewers,
+            scenario.amplitude * 100.0,
+            scenario.day_minutes,
+            scenario.minutes,
+            pool,
+            if scenario.autoscale { "on" } else { "off" },
+        ),
+        x_label: "seconds (series) / viewers (scalars)".into(),
+        y_label: "per-metric value".into(),
+        series: vec![
+            Series::new("population_over_time", population_series),
+            Series::new("provisioned_mbps_over_time", provisioned_series.clone()),
+            Series::new("utilisation_over_time", utilisation_series),
+            Series::new("acceptance_ratio", vec![(x, m.acceptance_ratio())]),
+            Series::new(
+                "final_population",
+                vec![(x, session.connected_viewers() as f64)],
+            ),
+            Series::new("churn_arrivals", vec![(x, m.churn_arrivals.value() as f64)]),
+            Series::new(
+                "churn_departures",
+                vec![(x, m.churn_departures.value() as f64)],
+            ),
+            Series::new("peak_cdn_mbps", vec![(x, m.peak_cdn_mbps())]),
+            Series::new(
+                "peak_provisioned_mbps",
+                vec![(x, m.provisioned_cdn_mbps.peak())],
+            ),
+            Series::new("autoscale_ups", vec![(x, m.autoscale_ups.value() as f64)]),
+            Series::new(
+                "autoscale_downs",
+                vec![(x, m.autoscale_downs.value() as f64)],
+            ),
+            Series::new("join_retries", vec![(x, m.join_retries.value() as f64)]),
+            Series::new("provisioned_dollars", vec![(x, provisioned_dollars)]),
+        ],
+    };
+    DiurnalOutcome {
+        final_population: session.connected_viewers(),
+        acceptance_ratio: m.acceptance_ratio(),
+        autoscale_ups: m.autoscale_ups.value(),
+        autoscale_downs: m.autoscale_downs.value(),
+        join_retries: m.join_retries.value(),
+        retry_queue_len: session.retry_queue_len(),
+        provisioned_series,
+        provisioned_dollars,
+        figure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DiurnalScenario {
+        DiurnalScenario {
+            viewers: 300,
+            minutes: 30,
+            churn_per_minute: 0.3,
+            day_minutes: 10,
+            amplitude: 0.9,
+            backend: DelayModelChoice::Dense,
+            seed: 17,
+            pool_mbps: Some(150),
+            autoscale: true,
+        }
+    }
+
+    #[test]
+    fn wave_sustains_an_audience_and_scales_the_pool() {
+        let outcome = run_diurnal(&small());
+        assert!(outcome.final_population > 0, "audience collapsed");
+        assert!(
+            outcome.autoscale_ups > 0,
+            "a 150 Mbps pool under a 300-viewer kickoff never scaled up"
+        );
+        assert!(
+            outcome.provisioned_series.iter().any(|&(_, v)| v > 150.0),
+            "provisioned capacity never rose above the starting pool"
+        );
+        assert!(outcome.provisioned_dollars > 0.0);
+    }
+
+    #[test]
+    fn outcome_is_seed_deterministic() {
+        let a = run_diurnal(&small());
+        let b = run_diurnal(&small());
+        assert_eq!(a, b);
+        let c = run_diurnal(&DiurnalScenario {
+            seed: 18,
+            ..small()
+        });
+        assert_ne!(a.figure.to_json(), c.figure.to_json());
+    }
+}

@@ -11,13 +11,15 @@
 
 pub mod churn;
 pub mod cli;
+pub mod diurnal;
 pub mod figures;
 pub mod harness;
 pub mod json;
 pub mod table;
 
-pub use churn::{run_churn, ChurnOutcome, ChurnScenario};
+pub use churn::{autoscale_policy_for, run_churn, ChurnOutcome, ChurnScenario};
 pub use cli::ScenarioArgs;
+pub use diurnal::{run_diurnal, DiurnalOutcome, DiurnalScenario};
 pub use figures::Scale;
 pub use harness::{run_scenario, RunResult, Scenario};
 pub use table::{FigureData, Series};

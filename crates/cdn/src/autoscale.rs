@@ -1,0 +1,367 @@
+//! Elastic CDN pool autoscaling.
+//!
+//! The paper provisions the CDN as a *static* bounded outbound pool
+//! (`C_cdn_obw = 6000 Mbps`). Under time-varying churn — flash-crowd
+//! kickoffs, diurnal audience waves — a static pool is either saturated
+//! at the peak (rejecting joins) or bleeding money at the trough
+//! (provisioned Mbps-hours nobody uses). This module adds the control
+//! side of an elastic pool:
+//!
+//! * [`AutoscalePolicy`] — a target-utilisation band with min/max
+//!   capacity bounds, a capacity step per action, and independent
+//!   scale-up/scale-down cooldowns;
+//! * [`Autoscaler`] — the stateful controller: it evaluates the policy
+//!   against the pool at each tick and emits [`ScaleDecision`]s, which
+//!   the owner applies with [`crate::Cdn::apply_scale`].
+//!
+//! The controller is deliberately deterministic and side-effect free —
+//! decisions are pure functions of `(policy, pool state, last action
+//! times)`, so two sessions with identical event timelines autoscale
+//! identically.
+
+use serde::{Deserialize, Serialize};
+use telecast_net::{Bandwidth, CapacityAccount};
+use telecast_sim::{SimDuration, SimTime};
+
+/// Direction of one scaling action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleDirection {
+    /// Capacity was added to the pool.
+    Up,
+    /// Capacity was removed from the pool.
+    Down,
+}
+
+/// One scaling action decided by the [`Autoscaler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScaleDecision {
+    /// Whether this grows or shrinks the pool.
+    pub direction: ScaleDirection,
+    /// Pool capacity before the action.
+    pub from: Bandwidth,
+    /// Pool capacity after the action.
+    pub to: Bandwidth,
+}
+
+/// The target-utilisation autoscaling policy.
+///
+/// The pool is resized to keep utilisation inside
+/// `[low_watermark, high_watermark]`: a tick observing utilisation above
+/// the high watermark scales up by [`AutoscalePolicy::step`] (clamped to
+/// `max`), one observing utilisation below the low watermark scales down
+/// by the same step (clamped to `min` and to the currently reserved
+/// amount). Cooldowns rate-limit each direction independently so the
+/// controller neither thrashes on a spike nor collapses the pool during
+/// a short lull.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscalePolicy {
+    /// Period between autoscale evaluations (the engine tick).
+    pub period: SimDuration,
+    /// Scale down when utilisation falls below this fraction.
+    pub low_watermark: f64,
+    /// Scale up when utilisation rises above this fraction.
+    pub high_watermark: f64,
+    /// Smallest pool the controller will shrink to.
+    pub min: Bandwidth,
+    /// Largest pool the controller will grow to.
+    pub max: Bandwidth,
+    /// Capacity added or removed per action.
+    pub step: Bandwidth,
+    /// Minimum virtual time between two scale-ups.
+    pub up_cooldown: SimDuration,
+    /// Minimum virtual time between two scale-downs.
+    pub down_cooldown: SimDuration,
+}
+
+impl Default for AutoscalePolicy {
+    /// A conservative band: evaluate every 15 s, keep utilisation in
+    /// `[0.50, 0.85]`, move in 1000 Mbps steps between 1000 Mbps and
+    /// 100 Gbps, with a 30 s up- and 120 s down-cooldown (scale up fast,
+    /// scale down slowly — the classic asymmetry).
+    fn default() -> Self {
+        AutoscalePolicy {
+            period: SimDuration::from_secs(15),
+            low_watermark: 0.50,
+            high_watermark: 0.85,
+            min: Bandwidth::from_mbps(1_000),
+            max: Bandwidth::from_mbps(100_000),
+            step: Bandwidth::from_mbps(1_000),
+            up_cooldown: SimDuration::from_secs(30),
+            down_cooldown: SimDuration::from_secs(120),
+        }
+    }
+}
+
+impl AutoscalePolicy {
+    /// A policy sized for a pool that starts at `initial`: min = initial,
+    /// max = `ceiling`, step = a quarter of the initial pool (at least
+    /// 250 Mbps) so under-provisioned starts recover in a few ticks.
+    pub fn for_pool(initial: Bandwidth, ceiling: Bandwidth) -> Self {
+        let quarter = Bandwidth::from_kbps(initial.as_kbps() / 4);
+        let step = quarter.max(Bandwidth::from_mbps(250));
+        AutoscalePolicy {
+            min: initial,
+            max: ceiling.max(initial),
+            step,
+            ..AutoscalePolicy::default()
+        }
+    }
+
+    /// Validates the policy's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.period.is_zero() {
+            return Err("autoscale period must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.low_watermark) || !(0.0..=1.0).contains(&self.high_watermark)
+        {
+            return Err(format!(
+                "watermarks out of [0, 1]: low {} high {}",
+                self.low_watermark, self.high_watermark
+            ));
+        }
+        if self.low_watermark >= self.high_watermark {
+            return Err(format!(
+                "low watermark {} must be below high watermark {}",
+                self.low_watermark, self.high_watermark
+            ));
+        }
+        if self.min > self.max {
+            return Err(format!(
+                "min capacity {} exceeds max capacity {}",
+                self.min, self.max
+            ));
+        }
+        if self.step.is_zero() {
+            return Err("scale step must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// The stateful autoscale controller: policy plus per-direction cooldown
+/// bookkeeping and action counters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Autoscaler {
+    policy: AutoscalePolicy,
+    last_up: Option<SimTime>,
+    last_down: Option<SimTime>,
+    ups: u64,
+    downs: u64,
+}
+
+impl Autoscaler {
+    /// Creates a controller for `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid (see [`AutoscalePolicy::validate`]).
+    pub fn new(policy: AutoscalePolicy) -> Self {
+        if let Err(msg) = policy.validate() {
+            panic!("invalid autoscale policy: {msg}");
+        }
+        Autoscaler {
+            policy,
+            last_up: None,
+            last_down: None,
+            ups: 0,
+            downs: 0,
+        }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> &AutoscalePolicy {
+        &self.policy
+    }
+
+    /// Scale-up actions taken so far.
+    pub fn scale_ups(&self) -> u64 {
+        self.ups
+    }
+
+    /// Scale-down actions taken so far.
+    pub fn scale_downs(&self) -> u64 {
+        self.downs
+    }
+
+    /// Evaluates the policy against `pool` at virtual time `now` and, if
+    /// a resize is warranted (band violated, bounds allow movement,
+    /// cooldown elapsed), records the action and returns it. The caller
+    /// applies the returned decision to the pool.
+    pub fn evaluate(&mut self, now: SimTime, pool: &CapacityAccount) -> Option<ScaleDecision> {
+        let p = &self.policy;
+        let total = pool.total();
+        let util = pool.utilisation();
+        if util > p.high_watermark && total < p.max && self.cooled(self.last_up, p.up_cooldown, now)
+        {
+            let to = (total + p.step).min(p.max);
+            self.last_up = Some(now);
+            self.ups += 1;
+            return Some(ScaleDecision {
+                direction: ScaleDirection::Up,
+                from: total,
+                to,
+            });
+        }
+        if util < p.low_watermark
+            && total > p.min
+            && self.cooled(self.last_down, p.down_cooldown, now)
+        {
+            // Never shrink below the reserved amount, and leave the pool
+            // at the high watermark at most so the shrink itself does not
+            // immediately re-trigger a scale-up.
+            let floor = pool.used().max(p.min);
+            let to = total.saturating_sub(p.step).max(floor);
+            if to < total {
+                self.last_down = Some(now);
+                self.downs += 1;
+                return Some(ScaleDecision {
+                    direction: ScaleDirection::Down,
+                    from: total,
+                    to,
+                });
+            }
+        }
+        None
+    }
+
+    fn cooled(&self, last: Option<SimTime>, cooldown: SimDuration, now: SimTime) -> bool {
+        match last {
+            None => true,
+            Some(at) => now.saturating_since(at) >= cooldown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(total_mbps: u64, used_mbps: u64) -> CapacityAccount {
+        let mut acct = CapacityAccount::new(Bandwidth::from_mbps(total_mbps));
+        acct.reserve(Bandwidth::from_mbps(used_mbps)).expect("fits");
+        acct
+    }
+
+    fn policy() -> AutoscalePolicy {
+        AutoscalePolicy {
+            period: SimDuration::from_secs(10),
+            low_watermark: 0.5,
+            high_watermark: 0.85,
+            min: Bandwidth::from_mbps(1_000),
+            max: Bandwidth::from_mbps(4_000),
+            step: Bandwidth::from_mbps(1_000),
+            up_cooldown: SimDuration::from_secs(30),
+            down_cooldown: SimDuration::from_secs(60),
+        }
+    }
+
+    #[test]
+    fn scales_up_above_the_band() {
+        let mut scaler = Autoscaler::new(policy());
+        let d = scaler
+            .evaluate(SimTime::from_secs(10), &pool(1_000, 950))
+            .expect("above high watermark");
+        assert_eq!(d.direction, ScaleDirection::Up);
+        assert_eq!(d.to, Bandwidth::from_mbps(2_000));
+        assert_eq!(scaler.scale_ups(), 1);
+    }
+
+    #[test]
+    fn respects_the_max_bound_and_up_cooldown() {
+        let mut scaler = Autoscaler::new(policy());
+        assert!(scaler
+            .evaluate(SimTime::from_secs(10), &pool(1_000, 950))
+            .is_some());
+        // Cooldown: 10 s later nothing happens despite saturation.
+        assert!(scaler
+            .evaluate(SimTime::from_secs(20), &pool(2_000, 1_950))
+            .is_none());
+        // After the cooldown the next step lands, clamped at max.
+        let d = scaler
+            .evaluate(SimTime::from_secs(40), &pool(3_500, 3_400))
+            .expect("cooled down");
+        assert_eq!(d.to, Bandwidth::from_mbps(4_000));
+        // At max: no further ups.
+        assert!(scaler
+            .evaluate(SimTime::from_secs(80), &pool(4_000, 3_999))
+            .is_none());
+    }
+
+    #[test]
+    fn scales_down_below_the_band_with_its_own_cooldown() {
+        let mut scaler = Autoscaler::new(policy());
+        let d = scaler
+            .evaluate(SimTime::from_secs(10), &pool(4_000, 100))
+            .expect("below low watermark");
+        assert_eq!(d.direction, ScaleDirection::Down);
+        assert_eq!(d.to, Bandwidth::from_mbps(3_000));
+        // Down-cooldown (60 s) still running: no action.
+        assert!(scaler
+            .evaluate(SimTime::from_secs(40), &pool(3_000, 100))
+            .is_none());
+        let d = scaler
+            .evaluate(SimTime::from_secs(80), &pool(3_000, 100))
+            .expect("down-cooldown elapsed");
+        assert_eq!(d.to, Bandwidth::from_mbps(2_000));
+        assert_eq!(scaler.scale_downs(), 2);
+    }
+
+    #[test]
+    fn never_shrinks_below_min_or_used() {
+        // Below the low watermark but already at min: no action.
+        let mut scaler = Autoscaler::new(policy());
+        assert!(scaler
+            .evaluate(SimTime::from_secs(10), &pool(1_000, 10))
+            .is_none());
+        // A big step is floored by the reserved amount, not by min.
+        let mut big_step = policy();
+        big_step.step = Bandwidth::from_mbps(3_000);
+        let mut scaler = Autoscaler::new(big_step);
+        let d = scaler
+            .evaluate(SimTime::from_secs(10), &pool(4_000, 1_500))
+            .expect("util 0.375 below the low watermark");
+        assert_eq!(d.to, Bandwidth::from_mbps(1_500));
+    }
+
+    #[test]
+    fn quiet_inside_the_band() {
+        let mut scaler = Autoscaler::new(policy());
+        assert!(scaler
+            .evaluate(SimTime::from_secs(10), &pool(2_000, 1_400))
+            .is_none());
+        assert_eq!(scaler.scale_ups() + scaler.scale_downs(), 0);
+    }
+
+    #[test]
+    fn for_pool_sizes_the_step_to_the_start() {
+        let p =
+            AutoscalePolicy::for_pool(Bandwidth::from_mbps(8_000), Bandwidth::from_mbps(20_000));
+        assert_eq!(p.min, Bandwidth::from_mbps(8_000));
+        assert_eq!(p.max, Bandwidth::from_mbps(20_000));
+        assert_eq!(p.step, Bandwidth::from_mbps(2_000));
+        assert!(p.validate().is_ok());
+        // Tiny pools still move in useful steps.
+        let p = AutoscalePolicy::for_pool(Bandwidth::from_mbps(100), Bandwidth::from_mbps(5_000));
+        assert_eq!(p.step, Bandwidth::from_mbps(250));
+    }
+
+    #[test]
+    fn validation_catches_bad_policies() {
+        let mut p = policy();
+        p.low_watermark = 0.9;
+        assert!(p.validate().unwrap_err().contains("below high"));
+        let mut p = policy();
+        p.step = Bandwidth::ZERO;
+        assert!(p.validate().unwrap_err().contains("step"));
+        let mut p = policy();
+        p.min = Bandwidth::from_mbps(10_000);
+        assert!(p.validate().unwrap_err().contains("exceeds max"));
+        let mut p = policy();
+        p.period = SimDuration::ZERO;
+        assert!(p.validate().unwrap_err().contains("period"));
+    }
+}

@@ -11,6 +11,13 @@
 //! delay `Δ = 60 s`; this crate implements that plus the storage/edge
 //! plumbing and the CloudFront-style transfer cost model ($0.18/GB).
 //!
+//! On top of the paper's static pool the crate adds an *elastic* mode
+//! (see [`autoscale`]): [`Cdn::apply_scale`] resizes the outbound pool
+//! at virtual time, growing extra per-region edge servers when capacity
+//! expands and retiring drained ones when it shrinks, while a
+//! [`ProvisionedMeter`] prices the provisioned Mbps-hours alongside the
+//! egress bytes so over-provisioning is visible in dollars.
+//!
 //! # Example
 //!
 //! ```
@@ -27,11 +34,13 @@
 //! # Ok::<(), telecast_cdn::CdnRejectedError>(())
 //! ```
 
+pub mod autoscale;
 mod cost;
 mod distribution;
 mod server;
 
-pub use cost::{CostModel, TrafficMeter};
+pub use autoscale::{AutoscalePolicy, Autoscaler, ScaleDecision, ScaleDirection};
+pub use cost::{CostModel, ProvisionedMeter, TrafficMeter};
 pub use distribution::{Distribution, IngestStats};
 pub use server::{EdgeServer, ServerId};
 
@@ -42,7 +51,12 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use telecast_media::StreamId;
 use telecast_net::{Bandwidth, CapacityAccount, Region};
-use telecast_sim::SimDuration;
+use telecast_sim::{SimDuration, SimTime};
+
+/// Hard cap on edge servers per region — a backstop against effectively
+/// unbounded pools ([`CdnConfig::unbounded`]) materialising millions of
+/// edges.
+pub const MAX_EDGES_PER_REGION: u64 = 8;
 
 /// Configuration of the simulated CDN.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -54,15 +68,25 @@ pub struct CdnConfig {
     pub delta: SimDuration,
     /// Transfer price per gigabyte (Amazon CloudFront 2012: $0.18/GB).
     pub dollars_per_gb: f64,
+    /// Committed-rate price per provisioned Mbps-hour (the elastic
+    /// pool's standing cost; ~$20/Mbps-month ≈ $0.03/Mbps-hour).
+    pub dollars_per_mbps_hour: f64,
+    /// Nominal outbound capacity per edge server; the elastic CDN grows
+    /// one edge per `edge_unit` of pool share in each region (at least
+    /// one per region, at most [`MAX_EDGES_PER_REGION`]).
+    pub edge_unit: Bandwidth,
 }
 
 impl Default for CdnConfig {
-    /// The evaluation configuration: 6000 Mbps pool, Δ = 60 s, $0.18/GB.
+    /// The evaluation configuration: 6000 Mbps pool, Δ = 60 s, $0.18/GB,
+    /// $0.03/Mbps-hour provisioned, 1500 Mbps edge units.
     fn default() -> Self {
         CdnConfig {
             outbound_capacity: Bandwidth::from_mbps(6_000),
             delta: SimDuration::from_secs(60),
             dollars_per_gb: 0.18,
+            dollars_per_mbps_hour: 0.03,
+            edge_unit: Bandwidth::from_mbps(1_500),
         }
     }
 }
@@ -113,32 +137,82 @@ impl Error for CdnRejectedError {}
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CdnLease(u64);
 
-/// The simulated CDN: bounded outbound pool + per-region edge servers.
+/// The simulated CDN: bounded (but elastic) outbound pool + per-region
+/// edge servers.
 #[derive(Debug, Clone)]
 pub struct Cdn {
     config: CdnConfig,
     outbound: CapacityAccount,
+    /// Every edge ever provisioned, indexed directly by
+    /// [`ServerId::index`]; retired edges stay as drained tombstones so
+    /// the id → server mapping never shifts.
     edges: Vec<EdgeServer>,
+    /// Active (non-retired) edge ids per region, in [`Region::ALL`]
+    /// order — the O(1) region lookup behind [`Cdn::serve`].
+    region_active: Vec<Vec<ServerId>>,
     leases: HashMap<CdnLease, (StreamId, Bandwidth, ServerId)>,
     next_lease: u64,
     meter: TrafficMeter,
+    provisioned: ProvisionedMeter,
 }
 
 impl Cdn {
-    /// Builds a CDN with one edge server per region.
+    /// Builds a CDN with at least one edge server per region (more when
+    /// the initial pool spans several `edge_unit`s).
     pub fn new(config: CdnConfig) -> Self {
-        let edges = Region::ALL
-            .iter()
-            .enumerate()
-            .map(|(i, &region)| EdgeServer::new(ServerId::new(i as u32), region))
-            .collect();
-        Cdn {
+        let mut cdn = Cdn {
             config,
             outbound: CapacityAccount::new(config.outbound_capacity),
-            edges,
+            edges: Vec::new(),
+            region_active: vec![Vec::new(); Region::ALL.len()],
             leases: HashMap::new(),
             next_lease: 0,
             meter: TrafficMeter::new(CostModel::per_gb(config.dollars_per_gb)),
+            provisioned: ProvisionedMeter::new(
+                config.dollars_per_mbps_hour,
+                config.outbound_capacity,
+            ),
+        };
+        cdn.retarget_edges();
+        cdn
+    }
+
+    /// How many edges each region should hold for `capacity`.
+    fn target_edges_per_region(&self, capacity: Bandwidth) -> u64 {
+        let unit = self.config.edge_unit.as_kbps().max(1);
+        let regions = Region::ALL.len() as u64;
+        let per_region_share = capacity.as_kbps() / regions;
+        let target = per_region_share / unit + u64::from(per_region_share % unit != 0);
+        target.clamp(1, MAX_EDGES_PER_REGION)
+    }
+
+    /// Grows/retires edges so each region holds the target count for the
+    /// current pool. Growth appends fresh [`ServerId`]s; shrinking
+    /// retires only *drained* edges (never the last one of a region), so
+    /// every live lease keeps a valid server behind it.
+    fn retarget_edges(&mut self) {
+        let target = self.target_edges_per_region(self.outbound.total()) as usize;
+        for (idx, &region) in Region::ALL.iter().enumerate() {
+            while self.region_active[idx].len() < target {
+                let id = ServerId::new(self.edges.len() as u32);
+                self.edges.push(EdgeServer::new(id, region));
+                self.region_active[idx].push(id);
+            }
+            while self.region_active[idx].len() > target.max(1) {
+                // Prefer retiring a drained edge from the back; stop if
+                // every candidate still carries sessions.
+                let active = &self.region_active[idx];
+                let victim = active
+                    .iter()
+                    .rposition(|&id| self.edges[id.index()].session_count() == 0);
+                match victim {
+                    Some(pos) => {
+                        let id = self.region_active[idx].remove(pos);
+                        self.edges[id.index()].retire();
+                    }
+                    None => break,
+                }
+            }
         }
     }
 
@@ -179,15 +253,17 @@ impl Cdn {
             requested: e.requested,
             available: e.available,
         })?;
-        let edge = self
-            .edges
-            .iter_mut()
-            .find(|e| e.region() == region)
-            .expect("an edge exists per region");
-        edge.add_session(stream, bw);
+        // Direct region index, then least-loaded active edge (ties break
+        // on the lower id, keeping placement deterministic).
+        let id = self.region_active[region.index()]
+            .iter()
+            .copied()
+            .min_by_key(|&id| (self.edges[id.index()].load(), id))
+            .expect("every region keeps at least one active edge");
+        self.edges[id.index()].add_session(stream, bw);
         let lease = CdnLease(self.next_lease);
         self.next_lease += 1;
-        self.leases.insert(lease, (stream, bw, edge.id()));
+        self.leases.insert(lease, (stream, bw, id));
         Ok(lease)
     }
 
@@ -203,12 +279,8 @@ impl Cdn {
             .remove(&lease)
             .expect("release of unknown or already-released CDN lease");
         self.outbound.release(bw);
-        let edge = self
-            .edges
-            .iter_mut()
-            .find(|e| e.id() == server)
-            .expect("edge exists");
-        edge.remove_session(stream, bw);
+        // ServerIds are Vec indexes: O(1), no scan over the edge list.
+        self.edges[server.index()].remove_session(stream, bw);
     }
 
     /// Number of active leases.
@@ -226,9 +298,40 @@ impl Cdn {
         &self.meter
     }
 
-    /// The per-region edge servers.
+    /// Resizes the outbound pool to `new_total` at virtual time `now`:
+    /// accrues the provisioned-capacity meter for the segment ending
+    /// now, resizes the pool (clamped so live reservations survive), and
+    /// grows or retires per-region edges to match. Returns the capacity
+    /// actually in effect after clamping.
+    pub fn apply_scale(&mut self, new_total: Bandwidth, now: SimTime) -> Bandwidth {
+        let clamped = new_total.max(self.outbound.used());
+        self.provisioned.accrue(now, clamped);
+        self.outbound.resize(clamped);
+        self.retarget_edges();
+        clamped
+    }
+
+    /// The provisioned-capacity meter (Mbps-hours of pool, priced at the
+    /// committed rate).
+    pub fn provisioned_meter(&self) -> &ProvisionedMeter {
+        &self.provisioned
+    }
+
+    /// Total CDN dollars up to `now`: egress bytes plus provisioned
+    /// Mbps-hours.
+    pub fn total_dollars_at(&self, now: SimTime) -> f64 {
+        self.meter.dollars() + self.provisioned.dollars_at(now)
+    }
+
+    /// Every edge server ever provisioned, including retired tombstones
+    /// (drained, `is_retired`), indexed by [`ServerId::index`].
     pub fn edges(&self) -> &[EdgeServer] {
         &self.edges
+    }
+
+    /// Number of active (non-retired) edges in `region`.
+    pub fn active_edges_in(&self, region: Region) -> usize {
+        self.region_active[region.index()].len()
     }
 }
 
@@ -247,6 +350,16 @@ mod tests {
         assert_eq!(c.outbound_capacity, Bandwidth::from_mbps(6_000));
         assert_eq!(c.delta, SimDuration::from_secs(60));
         assert_eq!(c.dollars_per_gb, 0.18);
+        assert_eq!(c.dollars_per_mbps_hour, 0.03);
+        assert_eq!(c.edge_unit, Bandwidth::from_mbps(1_500));
+        // The default pool still materialises exactly one edge per
+        // region, in Region::ALL order — the paper's static layout.
+        let cdn = Cdn::new(c);
+        assert_eq!(cdn.edges().len(), Region::ALL.len());
+        for (i, edge) in cdn.edges().iter().enumerate() {
+            assert_eq!(edge.region(), Region::ALL[i]);
+            assert!(!edge.is_retired());
+        }
     }
 
     #[test]
@@ -310,6 +423,67 @@ mod tests {
             .unwrap();
         cdn.release(lease);
         cdn.release(lease);
+    }
+
+    #[test]
+    fn apply_scale_grows_and_retires_edges() {
+        let config = CdnConfig::default().with_outbound(Bandwidth::from_mbps(6_000));
+        let mut cdn = Cdn::new(config);
+        assert_eq!(cdn.active_edges_in(Region::Europe), 1);
+        // 30 Gbps over 5 regions at 1500 Mbps units: 4 edges per region.
+        cdn.apply_scale(Bandwidth::from_mbps(30_000), SimTime::from_secs(10));
+        assert_eq!(cdn.outbound().total(), Bandwidth::from_mbps(30_000));
+        for &region in &Region::ALL {
+            assert_eq!(cdn.active_edges_in(region), 4);
+        }
+        // Shrink back: drained edges retire, one per region survives.
+        cdn.apply_scale(Bandwidth::from_mbps(6_000), SimTime::from_secs(20));
+        for &region in &Region::ALL {
+            assert_eq!(cdn.active_edges_in(region), 1);
+        }
+        let retired = cdn.edges().iter().filter(|e| e.is_retired()).count();
+        assert_eq!(retired, Region::ALL.len() * 3);
+    }
+
+    #[test]
+    fn apply_scale_clamps_to_live_reservations_and_keeps_loaded_edges() {
+        let mut cdn = Cdn::new(CdnConfig::default().with_outbound(Bandwidth::from_mbps(4)));
+        let lease = cdn
+            .serve(stream(0), Bandwidth::from_mbps(3), Region::Asia)
+            .expect("fits");
+        // Shrinking under the reservation clamps to the used amount.
+        let actual = cdn.apply_scale(Bandwidth::from_mbps(1), SimTime::from_secs(5));
+        assert_eq!(actual, Bandwidth::from_mbps(3));
+        assert_eq!(cdn.outbound().available(), Bandwidth::ZERO);
+        cdn.release(lease);
+        assert_eq!(cdn.outbound().used(), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn scale_up_spreads_sessions_across_region_edges() {
+        let mut cdn = Cdn::new(CdnConfig::default());
+        cdn.apply_scale(Bandwidth::from_mbps(30_000), SimTime::ZERO);
+        for i in 0..8u16 {
+            cdn.serve(stream(i), Bandwidth::from_mbps(2), Region::Europe)
+                .expect("fits");
+        }
+        // Least-loaded placement: 8 sessions over 4 active edges = 2 each.
+        let counts: Vec<usize> = cdn
+            .edges()
+            .iter()
+            .filter(|e| e.region() == Region::Europe && !e.is_retired())
+            .map(|e| e.session_count())
+            .collect();
+        assert_eq!(counts, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn provisioned_capacity_is_priced_over_time() {
+        // 6000 Mbps for one hour at $0.03/Mbps-hour = $180.
+        let cdn = Cdn::new(CdnConfig::default());
+        let after_1h = SimTime::from_secs(3_600);
+        assert!((cdn.provisioned_meter().dollars_at(after_1h) - 180.0).abs() < 1e-9);
+        assert_eq!(cdn.total_dollars_at(after_1h), 180.0);
     }
 
     #[test]

@@ -31,12 +31,22 @@ impl fmt::Display for ServerId {
 
 /// A regional edge server: tracks the per-stream sessions it is feeding so
 /// load distribution across edges can be inspected.
+///
+/// Edges are elastic: the autoscaler grows extra edges into a region when
+/// the pool expands and retires drained ones when it shrinks. A retired
+/// edge accepts no new sessions but stays addressable by [`ServerId`] so
+/// the id → server mapping remains a direct index for the CDN's lifetime.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EdgeServer {
     id: ServerId,
     region: Region,
     sessions: HashMap<StreamId, u32>,
+    /// Maintained total of active sessions — kept in sync with the
+    /// per-stream map so [`EdgeServer::session_count`] is O(1) instead of
+    /// a sum over every stream on every lease operation.
+    session_total: usize,
     load: Bandwidth,
+    retired: bool,
 }
 
 impl EdgeServer {
@@ -46,7 +56,9 @@ impl EdgeServer {
             id,
             region,
             sessions: HashMap::new(),
+            session_total: 0,
             load: Bandwidth::ZERO,
+            retired: false,
         }
     }
 
@@ -60,9 +72,32 @@ impl EdgeServer {
         self.region
     }
 
+    /// Whether this edge was retired by a scale-down (it holds no
+    /// sessions and accepts no new ones).
+    pub fn is_retired(&self) -> bool {
+        self.retired
+    }
+
+    /// Marks the edge retired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sessions are still active — the autoscaler only retires
+    /// drained edges.
+    pub(crate) fn retire(&mut self) {
+        assert_eq!(self.session_total, 0, "retiring an edge with live sessions");
+        self.retired = true;
+    }
+
     /// Registers one outbound session of `stream` at rate `bw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge was retired.
     pub fn add_session(&mut self, stream: StreamId, bw: Bandwidth) {
+        assert!(!self.retired, "adding a session to a retired edge");
         *self.sessions.entry(stream).or_insert(0) += 1;
+        self.session_total += 1;
         self.load += bw;
     }
 
@@ -80,12 +115,14 @@ impl EdgeServer {
         if *count == 0 {
             self.sessions.remove(&stream);
         }
+        self.session_total -= 1;
         self.load -= bw;
     }
 
-    /// Total number of active outbound sessions.
+    /// Total number of active outbound sessions (O(1): maintained, not
+    /// summed from the per-stream map).
     pub fn session_count(&self) -> usize {
-        self.sessions.values().map(|&c| c as usize).sum()
+        self.session_total
     }
 
     /// Number of distinct streams being served.
@@ -130,10 +167,35 @@ mod tests {
     }
 
     #[test]
+    fn maintained_count_tracks_interleaved_adds_and_removes() {
+        let mut edge = EdgeServer::new(ServerId::new(4), Region::Oceania);
+        let mut expected = 0usize;
+        for round in 0..20u16 {
+            edge.add_session(stream(round % 3), Bandwidth::from_mbps(1));
+            expected += 1;
+            if round % 2 == 0 {
+                edge.remove_session(stream(round % 3), Bandwidth::from_mbps(1));
+                expected -= 1;
+            }
+            assert_eq!(edge.session_count(), expected);
+        }
+        assert_eq!(edge.session_count(), 10);
+    }
+
+    #[test]
     #[should_panic(expected = "never added")]
     fn removing_unknown_session_panics() {
         let mut edge = EdgeServer::new(ServerId::new(2), Region::Asia);
         edge.remove_session(stream(0), Bandwidth::from_mbps(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "retired edge")]
+    fn retired_edge_rejects_sessions() {
+        let mut edge = EdgeServer::new(ServerId::new(5), Region::Europe);
+        edge.retire();
+        assert!(edge.is_retired());
+        edge.add_session(stream(0), Bandwidth::from_mbps(2));
     }
 
     #[test]

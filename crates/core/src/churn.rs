@@ -6,7 +6,9 @@
 //! perturb the workload stream), and the pool of viewers currently
 //! available for (re)admission. The session drives it purely through
 //! engine events — `ChurnArrival` admits one pool viewer and self-
-//! schedules the next Poisson arrival, `ChurnLeave` fires at the end of
+//! schedules the next Poisson arrival (thinned against the spec's
+//! [`telecast_media::RateProfile`], so diurnal waves and flash spikes
+//! modulate the rate), `ChurnLeave` fires at the end of
 //! a viewer's lognormal dwell and either departs it gracefully or fails
 //! it abruptly — so membership dynamics interleave with joins,
 //! repositions and adaptation ticks in one deterministic virtual

@@ -1,7 +1,7 @@
 //! Session configuration.
 
 use serde::{Deserialize, Serialize};
-use telecast_cdn::CdnConfig;
+use telecast_cdn::{AutoscalePolicy, CdnConfig};
 use telecast_media::ProducerSite;
 use telecast_net::BandwidthProfile;
 use telecast_sim::SimDuration;
@@ -109,6 +109,12 @@ pub struct SessionConfig {
     /// disables periodic sampling; CDN usage is still sampled after
     /// every protocol event.
     pub monitor_period: Option<SimDuration>,
+    /// Elastic CDN autoscaling policy. `None` (the default) keeps the
+    /// paper's statically-provisioned pool; `Some` drives a periodic
+    /// `AutoscaleTick` engine event that resizes the pool inside the
+    /// policy's utilisation band and retries CDN-rejected joins after
+    /// each scale-up.
+    pub autoscale: Option<AutoscalePolicy>,
     /// Scope of view groups.
     pub group_scope: GroupScope,
     /// Delay substrate (dense matrix vs O(n) coordinates).
@@ -136,6 +142,7 @@ impl Default for SessionConfig {
             layering_enabled: true,
             adaptation_period: None,
             monitor_period: None,
+            autoscale: None,
             group_scope: GroupScope::PerLsc,
             delay_model: DelayModelChoice::Auto,
             seed: 42,
@@ -167,6 +174,9 @@ impl SessionConfig {
         }
         if let PlacementStrategy::Random { probes: 0 } = self.placement {
             return Err("random placement needs at least one probe".into());
+        }
+        if let Some(policy) = &self.autoscale {
+            policy.validate().map_err(|e| format!("autoscale: {e}"))?;
         }
         Ok(())
     }
@@ -204,6 +214,12 @@ impl SessionConfig {
     /// Convenience: enable periodic GSC monitoring samples.
     pub fn with_monitor_period(mut self, period: SimDuration) -> Self {
         self.monitor_period = Some(period);
+        self
+    }
+
+    /// Convenience: enable elastic CDN autoscaling under `policy`.
+    pub fn with_autoscale(mut self, policy: AutoscalePolicy) -> Self {
+        self.autoscale = Some(policy);
         self
     }
 }
@@ -250,6 +266,15 @@ mod tests {
             ..SessionConfig::default()
         };
         assert!(c.validate().unwrap_err().contains("probe"));
+
+        let c = SessionConfig {
+            autoscale: Some(AutoscalePolicy {
+                step: Bandwidth::ZERO,
+                ..AutoscalePolicy::default()
+            }),
+            ..SessionConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("autoscale"));
     }
 
     #[test]

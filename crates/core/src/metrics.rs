@@ -31,6 +31,13 @@ pub struct SessionMetrics {
     /// CDN outbound usage over time, in Mbps (Fig. 13(a) reports the
     /// peak).
     pub cdn_usage_mbps: TimeSeries,
+    /// *Provisioned* CDN outbound capacity over time, in Mbps — a flat
+    /// line for the paper's static pool, a staircase tracking demand
+    /// under autoscaling.
+    pub provisioned_cdn_mbps: TimeSeries,
+    /// CDN pool utilisation (used / provisioned) over time, sampled by
+    /// the GSC monitor event.
+    pub cdn_utilisation: TimeSeries,
     /// Connected population over time, sampled by the GSC monitor event.
     pub population: TimeSeries,
     /// Times the subscription-chain damping cap was hit (should stay 0).
@@ -42,6 +49,12 @@ pub struct SessionMetrics {
     pub churn_departures: Counter,
     /// Churn dwell expiries that failed abruptly.
     pub churn_failures: Counter,
+    /// Autoscale actions that grew the CDN pool.
+    pub autoscale_ups: Counter,
+    /// Autoscale actions that shrank the CDN pool.
+    pub autoscale_downs: Counter,
+    /// Parked CDN-rejected joins retried after a scale-up.
+    pub join_retries: Counter,
 }
 
 impl Default for SessionMetrics {
@@ -66,11 +79,16 @@ impl SessionMetrics {
             victims: Counter::new("victims"),
             victims_repositioned: Counter::new("victims_repositioned"),
             cdn_usage_mbps: TimeSeries::new(),
+            provisioned_cdn_mbps: TimeSeries::new(),
+            cdn_utilisation: TimeSeries::new(),
             population: TimeSeries::new(),
             resync_cap_hits: Counter::new("resync_cap_hits"),
             churn_arrivals: Counter::new("churn_arrivals"),
             churn_departures: Counter::new("churn_departures"),
             churn_failures: Counter::new("churn_failures"),
+            autoscale_ups: Counter::new("autoscale_ups"),
+            autoscale_downs: Counter::new("autoscale_downs"),
+            join_retries: Counter::new("join_retries"),
         }
     }
 
@@ -104,6 +122,21 @@ impl SessionMetrics {
     /// Records a connected-population sample (GSC monitor event).
     pub fn sample_population(&mut self, at: SimTime, viewers: f64) {
         self.population.record(at, viewers);
+    }
+
+    /// Records a provisioned-capacity sample. Like the usage series this
+    /// is a step function — consecutive identical values collapse into
+    /// the first sample.
+    pub fn sample_provisioned(&mut self, at: SimTime, mbps: f64) {
+        if self.provisioned_cdn_mbps.last() == Some(mbps) {
+            return;
+        }
+        self.provisioned_cdn_mbps.record(at, mbps);
+    }
+
+    /// Records a CDN pool utilisation sample (GSC monitor event).
+    pub fn sample_cdn_utilisation(&mut self, at: SimTime, fraction: f64) {
+        self.cdn_utilisation.record(at, fraction);
     }
 
     /// CDF of join delays (milliseconds).

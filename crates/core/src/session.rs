@@ -16,9 +16,9 @@
 //! All stochastic inputs derive from the configured seed; two sessions
 //! with equal configuration and workload produce identical metrics.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
-use telecast_cdn::Cdn;
+use telecast_cdn::{Autoscaler, Cdn, ScaleDirection};
 use telecast_media::{PrioritizedStream, StreamId, ViewCatalog, ViewId};
 use telecast_net::{
     Bandwidth, CoordinateDelayModel, DelayBackend, DelayModel, NodeId, NodeKind, NodePorts,
@@ -38,6 +38,12 @@ use telecast_media::FrameNumber;
 
 /// Damping cap for subscription-chain propagation per structural change.
 const RESYNC_VISIT_CAP: usize = 8;
+
+/// How many times one viewer's parked join may be retried before it is
+/// given up on. Bounds viewers whose rejection is *not* a pool-capacity
+/// signal (e.g. insufficient inbound) — without the cap they would loop
+/// retry → reject → re-park on every autoscale tick forever.
+const JOIN_RETRY_CAP: u32 = 8;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SessionEvent {
@@ -82,6 +88,10 @@ enum SessionEvent {
     /// session time series (paper §III's continuous monitoring, as an
     /// engine event rather than an ad-hoc tick).
     MonitorSample,
+    /// Elastic-CDN control tick: evaluate the autoscale policy against
+    /// the outbound pool, apply any scale action, and retry parked
+    /// CDN-rejected joins after a scale-up.
+    AutoscaleTick,
 }
 
 /// Builder for [`TelecastSession`]; fixes the viewer population so the
@@ -195,6 +205,11 @@ impl SessionBuilder {
             monitor_armed: false,
             last_adaptation: None,
             churn: None,
+            autoscaler: config.autoscale.map(Autoscaler::new),
+            autoscale_armed: false,
+            retry_queue: VecDeque::new(),
+            retry_parked: HashSet::new(),
+            retry_counts: HashMap::new(),
             connected_count: 0,
             config,
         }
@@ -262,6 +277,18 @@ pub struct TelecastSession {
     last_adaptation: Option<(SimTime, u64)>,
     /// The continuous-churn runtime, when started.
     churn: Option<crate::churn::ChurnRuntime>,
+    /// The elastic-CDN controller, when configured.
+    autoscaler: Option<Autoscaler>,
+    autoscale_armed: bool,
+    /// CDN-rejected joins parked for retry after the next scale-up, in
+    /// rejection order.
+    retry_queue: VecDeque<(NodeId, ViewId)>,
+    /// Members of the retry queue that are still eligible (a churn dwell
+    /// expiry unparks its viewer — the pool owns it again from then on).
+    retry_parked: HashSet<NodeId>,
+    /// Retries spent per viewer since its last admission or dwell
+    /// expiry; parking stops at [`JOIN_RETRY_CAP`].
+    retry_counts: HashMap<NodeId, u32>,
     /// Maintained count of viewers in [`ViewerStatus::Connected`] — the
     /// population the monitor samples without scanning the pool.
     connected_count: usize,
@@ -451,6 +478,14 @@ impl TelecastSession {
                     .schedule_after(period, SessionEvent::MonitorSample);
             }
         }
+        if !self.autoscale_armed {
+            if let Some(scaler) = &self.autoscaler {
+                self.autoscale_armed = true;
+                let period = scaler.policy().period;
+                self.engine
+                    .schedule_after(period, SessionEvent::AutoscaleTick);
+            }
+        }
     }
 
     /// One GSC monitoring sample (§III "continuously monitors"): the
@@ -459,10 +494,15 @@ impl TelecastSession {
     /// while the session stays active.
     fn monitor_sample(&mut self) {
         let now = self.engine.now();
-        let mbps = self.cdn.outbound().used().as_mbps_f64();
+        let pool = self.cdn.outbound();
+        let mbps = pool.used().as_mbps_f64();
+        let provisioned = pool.total().as_mbps_f64();
+        let utilisation = pool.utilisation();
         self.metrics
             .sample_population(now, self.connected_count as f64);
         self.metrics.sample_cdn_usage(now, mbps);
+        self.metrics.sample_provisioned(now, provisioned);
+        self.metrics.sample_cdn_utilisation(now, utilisation);
         if let Some(period) = self.config.monitor_period {
             if self.engine.peek_time().is_some() {
                 self.engine
@@ -470,6 +510,109 @@ impl TelecastSession {
             } else {
                 self.monitor_armed = false;
             }
+        }
+    }
+
+    /// One elastic-CDN control tick: evaluate the autoscale policy
+    /// against the outbound pool at the current instant, apply the
+    /// resulting resize (growing or retiring per-region edges, accruing
+    /// the provisioned-capacity meter), and — after a scale-up — retry
+    /// the joins that were parked when the pool rejected them. Re-arms
+    /// itself while the session stays active, like the monitor.
+    fn autoscale_tick(&mut self) {
+        let now = self.engine.now();
+        let Some(scaler) = self.autoscaler.as_mut() else {
+            return;
+        };
+        let period = scaler.policy().period;
+        if let Some(decision) = scaler.evaluate(now, self.cdn.outbound()) {
+            let actual = self.cdn.apply_scale(decision.to, now);
+            self.metrics.sample_provisioned(now, actual.as_mbps_f64());
+            match decision.direction {
+                ScaleDirection::Up => self.metrics.autoscale_ups.incr(),
+                ScaleDirection::Down => self.metrics.autoscale_downs.incr(),
+            }
+        }
+        // Retry parked joins up to the pool's current headroom — after a
+        // scale-up that immediately admits the front of the queue, and as
+        // a trickle on every later tick while headroom remains (so the
+        // tail keeps draining once the pool has caught up with demand).
+        self.drain_retry_queue();
+        if self.engine.peek_time().is_some() {
+            self.engine
+                .schedule_after(period, SessionEvent::AutoscaleTick);
+        } else {
+            self.autoscale_armed = false;
+        }
+    }
+
+    /// Retries parked CDN-rejected joins at the current instant, FIFO,
+    /// budgeted by the pool's current headroom: each retry is charged
+    /// the full CDN demand of its view, and draining stops once the
+    /// headroom is spent (the rest stays parked for the next tick).
+    /// Without the budget a scale-up would re-flood the pool with every
+    /// parked join at once — a thundering herd whose re-rejections dwarf
+    /// the admissions. A parked viewer is skipped when its state moved
+    /// on since the rejection — a churn dwell expiry returned it to the
+    /// pool (unparked), or a scripted re-join already changed its
+    /// status.
+    fn drain_retry_queue(&mut self) {
+        if self.retry_queue.is_empty() {
+            return;
+        }
+        let now = self.engine.now();
+        let mut budget_kbps = self.cdn.outbound().available().as_kbps();
+        while let Some((viewer, view)) = self.retry_queue.pop_front() {
+            if !self.retry_parked.contains(&viewer) {
+                continue; // unparked since; drop the stale entry
+            }
+            // Status check before the budget check: a no-longer-Rejected
+            // entry costs nothing and must not stall the queue behind it.
+            let rejected = self
+                .viewers
+                .get(&viewer)
+                .map(|v| v.status == ViewerStatus::Rejected)
+                .unwrap_or(false);
+            if !rejected {
+                self.retry_parked.remove(&viewer);
+                continue;
+            }
+            let demand = self.view_demand_kbps(view);
+            if budget_kbps < demand {
+                self.retry_queue.push_front((viewer, view));
+                break;
+            }
+            self.retry_parked.remove(&viewer);
+            budget_kbps -= demand;
+            *self.retry_counts.entry(viewer).or_insert(0) += 1;
+            self.metrics.join_retries.incr();
+            let _ = self.request_join_at(viewer, view, now);
+        }
+    }
+
+    /// Worst-case CDN demand of one view, in Kbps: every stream served
+    /// from the pool (the conservative budget unit for retry draining —
+    /// P2P slots can only make the actual cost lower).
+    fn view_demand_kbps(&self, view: ViewId) -> u64 {
+        self.catalog
+            .view(view)
+            .streams()
+            .map(|sid| self.stream_bw[&sid].as_kbps())
+            .sum()
+    }
+
+    /// Parks a CDN-rejected foreground join for retry after the next
+    /// scale-up. No-op without an autoscaler, when already parked, or
+    /// once the viewer exhausted its [`JOIN_RETRY_CAP`].
+    fn park_rejected(&mut self, viewer: NodeId, view: ViewId) {
+        if self.autoscaler.is_none() {
+            return;
+        }
+        if self.retry_counts.get(&viewer).copied().unwrap_or(0) >= JOIN_RETRY_CAP {
+            return;
+        }
+        if self.retry_parked.insert(viewer) {
+            self.retry_queue.push_back((viewer, view));
         }
     }
 
@@ -645,13 +788,12 @@ impl TelecastSession {
         }
         let now = self.engine.now();
         if now < horizon {
-            let gap = {
+            let next = {
                 let churn = self.churn.as_mut().expect("just installed");
-                churn.spec.sample_gap(&mut churn.rng)
+                churn.spec.sample_next_arrival(now, horizon, &mut churn.rng)
             };
-            if now + gap <= horizon {
-                self.engine
-                    .schedule_at(now + gap, SessionEvent::ChurnArrival);
+            if let Some(at) = next {
+                self.engine.schedule_at(at, SessionEvent::ChurnArrival);
             }
         }
         self.arm_adaptation();
@@ -660,6 +802,28 @@ impl TelecastSession {
     /// Whether a churn runtime is installed.
     pub fn churn_active(&self) -> bool {
         self.churn.is_some()
+    }
+
+    /// The viewers currently available to the churn runtime for
+    /// (re)admission, when one is installed — introspection for the
+    /// pool-conservation invariants (a viewer being both here and
+    /// connected means its graceful departure is still in flight).
+    pub fn churn_pool(&self) -> Option<&[NodeId]> {
+        self.churn.as_ref().map(|c| c.available.as_slice())
+    }
+
+    /// The elastic-CDN controller, when configured.
+    pub fn autoscaler(&self) -> Option<&Autoscaler> {
+        self.autoscaler.as_ref()
+    }
+
+    /// Number of CDN-rejected joins currently parked for retry after
+    /// the next scale-up.
+    pub fn retry_queue_len(&self) -> usize {
+        self.retry_queue
+            .iter()
+            .filter(|(v, _)| self.retry_parked.contains(v))
+            .count()
     }
 
     /// Admits one churn-pool viewer at the current instant: joins it on a
@@ -717,10 +881,9 @@ impl TelecastSession {
             return;
         };
         if now < churn.horizon {
-            let gap = churn.spec.sample_gap(&mut churn.rng);
-            let next = now + gap;
-            if next <= churn.horizon {
-                self.engine.schedule_at(next, SessionEvent::ChurnArrival);
+            let horizon = churn.horizon;
+            if let Some(at) = churn.spec.sample_next_arrival(now, horizon, &mut churn.rng) {
+                self.engine.schedule_at(at, SessionEvent::ChurnArrival);
             }
         }
         self.churn_admit_one();
@@ -731,6 +894,23 @@ impl TelecastSession {
     /// for viewers whose join was rejected) the viewer returns to the
     /// pool for readmission.
     fn churn_leave(&mut self, viewer: NodeId, fail: bool) {
+        // A join in flight (a drained retry, or a dwell shorter than the
+        // join legs): deciding now would either depart a viewer that is
+        // not connected yet or push it back to the pool while the join
+        // still commits — a permanently-connected leak either way. The
+        // join always resolves, so re-poll shortly after.
+        if self
+            .viewers
+            .get(&viewer)
+            .map(|v| v.status == ViewerStatus::Joining)
+            .unwrap_or(false)
+        {
+            self.engine.schedule_after(
+                SimDuration::from_secs(1),
+                SessionEvent::ChurnLeave { viewer, fail },
+            );
+            return;
+        }
         let connected = self
             .viewers
             .get(&viewer)
@@ -748,6 +928,11 @@ impl TelecastSession {
         if let Some(churn) = self.churn.as_mut() {
             churn.available.push(viewer);
         }
+        // The pool owns the viewer again: a pending retry would race the
+        // next churn admission, so the dwell expiry unparks it (and its
+        // retry budget resets with the fresh dwell).
+        self.retry_parked.remove(&viewer);
+        self.retry_counts.remove(&viewer);
     }
 
     /// Runs the protocol engine until no events remain.
@@ -978,6 +1163,7 @@ impl TelecastSession {
             SessionEvent::ChurnArrival => self.churn_arrival(),
             SessionEvent::ChurnLeave { viewer, fail } => self.churn_leave(viewer, fail),
             SessionEvent::MonitorSample => self.monitor_sample(),
+            SessionEvent::AutoscaleTick => self.autoscale_tick(),
         }
         let mbps = self.cdn.outbound().used().as_mbps_f64();
         self.metrics.sample_cdn_usage(self.engine.now(), mbps);
@@ -1065,7 +1251,7 @@ impl TelecastSession {
         };
 
         if !covers_all_sites(&accepted, self.config.sites.len()) {
-            self.finish_rejected(viewer, background);
+            self.finish_rejected(viewer, view, background);
             return;
         }
 
@@ -1135,7 +1321,7 @@ impl TelecastSession {
             for (s, parent) in &placements {
                 self.undo_placement(viewer, view, scope, s.stream, *parent);
             }
-            self.finish_rejected(viewer, background);
+            self.finish_rejected(viewer, view, background);
             return;
         }
 
@@ -1285,13 +1471,17 @@ impl TelecastSession {
                 v.ports.outbound.release(out_plan.outbound_used);
             }
             v.out_degrees.clear();
-            self.finish_rejected(viewer, background);
+            self.finish_rejected(viewer, view, background);
             return;
         }
 
         // Commit.
         self.metrics.accepted_streams.add(kept.len() as u64);
         self.metrics.admitted_viewers.incr();
+        // Admitted: the retry budget resets and any parked entry becomes
+        // stale (the queue drops it lazily once unparked).
+        self.retry_counts.remove(&viewer);
+        self.retry_parked.remove(&viewer);
         self.metrics.subscription_messages.add(kept.len() as u64); // Subscription-Start to each parent
         let mut parent_updates: Vec<(NodeId, StreamId, SubscriptionPoint)> = Vec::new();
         {
@@ -1385,8 +1575,14 @@ impl TelecastSession {
         }
     }
 
-    fn finish_rejected(&mut self, viewer: NodeId, background: bool) {
+    fn finish_rejected(&mut self, viewer: NodeId, view: ViewId, background: bool) {
         self.metrics.rejected_viewers.incr();
+        if !background {
+            // Under an elastic pool the rejection is (typically) a
+            // capacity signal: park the join for retry after the next
+            // scale-up.
+            self.park_rejected(viewer, view);
+        }
         let leases: Vec<_> = {
             let v = self.viewers.get_mut(&viewer).expect("viewer exists");
             v.out_degrees.clear();
@@ -1813,6 +2009,18 @@ impl TelecastSession {
         let bw = self.stream_bw[&stream];
         for victim in victims {
             self.metrics.victims.incr();
+            // Recovering an earlier victim of this batch can cascade
+            // (CDN-less drop → subtree removal → recursive recovery) and
+            // move or drop this one before the loop reaches it; only
+            // viewers still parked at the CDN root need recovery.
+            let still_parked = self.scopes[scope]
+                .group(view)
+                .and_then(|g| g.tree(stream))
+                .map(|t| t.parent_of(victim) == Some(TreeParent::Cdn))
+                .unwrap_or(false);
+            if !still_parked {
+                continue;
+            }
             let region = self.viewers[&victim].region;
             match self.cdn.serve(stream, bw, region) {
                 Ok(lease) => {

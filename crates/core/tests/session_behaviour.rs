@@ -412,3 +412,143 @@ fn api_errors_are_reported() {
     // Depart before join.
     assert!(session.request_depart(ids[1]).is_err());
 }
+
+/// Churn pool conservation: at every sampled instant of a churn run the
+/// available pool holds no duplicates, every idle viewer is in the pool
+/// (the push-back paths in `churn_admit_one`/`churn_leave` never drop
+/// one), and `available + connected + in-flight` partitions the whole
+/// population. After the horizon drains, every viewer is back in the
+/// pool exactly once.
+#[test]
+fn churn_pool_is_conserved_under_pushback() {
+    use std::collections::BTreeSet;
+    use telecast_net::NodeId;
+
+    let config = small_config()
+        .with_outbound(BandwidthProfile::uniform_mbps(0, 12))
+        .with_monitor_period(SimDuration::from_secs(5));
+    let mut session = TelecastSession::builder(config).viewers(120).build();
+    // Aggressive churn so arrivals, graceful departures, abrupt failures
+    // and stale-candidate push-backs all interleave within the horizon.
+    let spec = telecast_media::ChurnSpec::steady_state(120, 0.5).with_fail_fraction(0.3);
+    let horizon = telecast_sim::SimTime::from_secs(300);
+    session.start_churn(spec, horizon, 60);
+    let all: BTreeSet<NodeId> = session.viewer_ids().iter().copied().collect();
+
+    for step in 1..=30u64 {
+        session.run_until(telecast_sim::SimTime::from_secs(step * 10));
+        let pool = session.churn_pool().expect("churn active").to_vec();
+        let pool_set: BTreeSet<NodeId> = pool.iter().copied().collect();
+        assert_eq!(pool.len(), pool_set.len(), "duplicate viewers in the pool");
+        assert!(pool_set.is_subset(&all), "pool holds unknown viewers");
+
+        let mut connected = 0usize;
+        let mut departure_in_flight = 0usize;
+        let mut join_in_flight = 0usize;
+        let mut parked_rejected = 0usize;
+        for &v in &all {
+            let status = session.viewer(v).expect("known viewer").status;
+            match status {
+                ViewerStatus::Connected => {
+                    if pool_set.contains(&v) {
+                        // Pushed back at dwell expiry while the graceful
+                        // departure is still in flight.
+                        departure_in_flight += 1;
+                    } else {
+                        connected += 1;
+                    }
+                }
+                ViewerStatus::Joining => {
+                    assert!(!pool_set.contains(&v), "joining viewer still pooled");
+                    join_in_flight += 1;
+                }
+                ViewerStatus::Idle => {
+                    assert!(
+                        pool_set.contains(&v),
+                        "idle viewer {v} leaked out of the churn pool"
+                    );
+                }
+                ViewerStatus::Rejected => {
+                    // Back in the pool once its dwell expired; parked
+                    // (awaiting that expiry) otherwise.
+                    if !pool_set.contains(&v) {
+                        parked_rejected += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            (pool.len() - departure_in_flight)
+                + (connected + departure_in_flight)
+                + join_in_flight
+                + parked_rejected,
+            all.len(),
+            "population partition broken at step {step}"
+        );
+        assert_eq!(
+            session.connected_viewers(),
+            connected + departure_in_flight,
+            "maintained connected counter diverged"
+        );
+    }
+
+    // Horizon passed: the audience drains and everyone returns home.
+    session.run_to_idle();
+    let pool = session.churn_pool().expect("churn active").to_vec();
+    let pool_set: BTreeSet<NodeId> = pool.iter().copied().collect();
+    assert_eq!(pool.len(), pool_set.len(), "duplicates after drain");
+    assert_eq!(pool_set, all, "viewers missing from the drained pool");
+    assert_eq!(session.connected_viewers(), 0);
+}
+
+/// The elastic-CDN loop end-to-end at session level: a pool too small
+/// for the kickoff parks rejected joins, the autoscaler grows the pool,
+/// and the retry queue drains into admissions.
+#[test]
+fn autoscale_retries_parked_joins_after_scale_up() {
+    use telecast_cdn::AutoscalePolicy;
+
+    // No P2P upload at all: every stream must come from the CDN, so the
+    // 72 Mbps pool admits only 6 of 30 viewers at the kickoff.
+    let policy = AutoscalePolicy {
+        period: SimDuration::from_secs(5),
+        min: Bandwidth::from_mbps(72),
+        max: Bandwidth::from_mbps(720),
+        step: Bandwidth::from_mbps(144),
+        up_cooldown: SimDuration::from_secs(5),
+        down_cooldown: SimDuration::from_secs(600),
+        ..AutoscalePolicy::default()
+    };
+    // No monitor period here: two periodic sources would re-arm each
+    // other forever and `run_to_idle` could not drain (the same reason
+    // the scenario runners drive continuous runs with `run_until`).
+    let config = small_config()
+        .with_outbound(BandwidthProfile::fixed_mbps(0))
+        .with_cdn(CdnConfig::default().with_outbound(Bandwidth::from_mbps(72)))
+        .with_autoscale(policy);
+    let mut session = TelecastSession::builder(config).viewers(30).build();
+    for v in session.viewer_ids().to_vec() {
+        session.request_join(v, ViewId::new(0)).expect("requested");
+    }
+    session.run_to_idle();
+
+    let m = session.metrics();
+    assert!(
+        m.autoscale_ups.value() > 0,
+        "saturated pool never triggered a scale-up"
+    );
+    assert!(
+        m.join_retries.value() > 0,
+        "parked joins were never retried"
+    );
+    // 30 viewers × 6 streams × 2 Mbps = 360 Mbps total demand: within
+    // the 720 Mbps ceiling, so every parked join eventually lands.
+    assert_eq!(session.metrics().admitted_viewers.value(), 30);
+    assert_eq!(session.retry_queue_len(), 0, "retry queue did not drain");
+    assert!(
+        session.cdn().outbound().total() > Bandwidth::from_mbps(72),
+        "pool never grew"
+    );
+    // The staircase was recorded.
+    assert!(m.provisioned_cdn_mbps.points().len() >= 2);
+}

@@ -25,6 +25,7 @@
 mod bundle;
 mod frame;
 mod producer;
+mod rate;
 mod stream;
 mod teeve;
 mod view;
@@ -33,6 +34,7 @@ mod workload;
 pub use bundle::{inter_bundle_skew, Bundle};
 pub use frame::{Frame, FrameNumber};
 pub use producer::ProducerSite;
+pub use rate::{RateProfile, SpikeWindow, MAX_SPIKE_WINDOWS};
 pub use stream::{Orientation, SiteId, StreamId, StreamInfo};
 pub use teeve::{SyntheticTeeveTrace, TeeveStreamConfig};
 pub use view::{GlobalView, LocalView, PrioritizedStream, ViewCatalog, ViewId};

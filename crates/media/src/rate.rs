@@ -1,0 +1,362 @@
+//! Time-varying arrival-rate profiles for the churn process.
+//!
+//! The paper's churn counterpart ([`crate::ChurnSpec`]) originally drew
+//! arrivals from a *constant-rate* Poisson process. Real audiences are
+//! not constant: they follow diurnal waves (the day/night cycle of a
+//! global 3DTI broadcast) and flash spikes (a kickoff, a replayed
+//! highlight). [`RateProfile`] generalises the arrival process into a
+//! non-homogeneous Poisson process whose instantaneous rate is
+//! `base_rate × multiplier(t)`, sampled by thinning (Lewis–Shedler):
+//! candidate gaps are drawn at the profile's peak rate and accepted with
+//! probability `multiplier(t) / max_multiplier`, which reproduces the
+//! exact time-varying process without numerical integration.
+//!
+//! [`RateProfile::Constant`] bypasses thinning entirely and draws one
+//! exponential gap per arrival — the *identical* random-stream
+//! consumption of the original constant process, so every existing seed
+//! replays byte-identically.
+
+use serde::{Deserialize, Serialize};
+use telecast_sim::{SimDuration, SimRng, SimTime};
+
+/// Maximum number of spike windows a [`RateProfile::Spikes`] profile can
+/// hold (a fixed array keeps the profile `Copy`, like the spec that
+/// embeds it).
+pub const MAX_SPIKE_WINDOWS: usize = 4;
+
+/// One piecewise rate spike: the arrival rate is multiplied by
+/// `multiplier` inside `[start, start + duration)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpikeWindow {
+    /// When the spike begins.
+    pub start: SimTime,
+    /// How long it lasts.
+    pub duration: SimDuration,
+    /// Rate multiplier inside the window (≥ 0; above 1 is a flash crowd,
+    /// below 1 a lull, 0 silences arrivals).
+    pub multiplier: f64,
+}
+
+impl Default for SpikeWindow {
+    fn default() -> Self {
+        SpikeWindow {
+            start: SimTime::ZERO,
+            duration: SimDuration::ZERO,
+            multiplier: 1.0,
+        }
+    }
+}
+
+impl SpikeWindow {
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.start + self.duration
+    }
+}
+
+/// How the churn arrival rate varies over virtual time, as a
+/// dimensionless multiplier on the spec's base rate.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum RateProfile {
+    /// The original homogeneous process: multiplier 1 forever.
+    #[default]
+    Constant,
+    /// A sinusoidal day/night wave:
+    /// `1 + amplitude · sin(2π · (t + phase) / period)`.
+    Diurnal {
+        /// Length of one full day/night cycle.
+        period: SimDuration,
+        /// Wave amplitude in `[0, 1]` — 0 degenerates to constant, 1
+        /// silences the trough completely.
+        amplitude: f64,
+        /// Phase offset added to `t` before the sine (use
+        /// [`RateProfile::diurnal_from_trough`] to start a run at the
+        /// quiet point of the cycle).
+        phase: SimDuration,
+    },
+    /// Piecewise flash spikes over an otherwise constant rate.
+    Spikes {
+        /// The spike windows; only the first `active` entries are live.
+        windows: [SpikeWindow; MAX_SPIKE_WINDOWS],
+        /// Number of live windows.
+        active: usize,
+    },
+}
+
+impl RateProfile {
+    /// A diurnal wave that starts at its trough (the sine's minimum), so
+    /// a run beginning at `t = 0` ramps up into the first "day".
+    pub fn diurnal_from_trough(period: SimDuration, amplitude: f64) -> Self {
+        // sin is minimal at 3/4 of the cycle.
+        RateProfile::Diurnal {
+            period,
+            amplitude,
+            phase: period / 2 + period / 4,
+        }
+    }
+
+    /// A spikes profile over the given windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_SPIKE_WINDOWS`] windows are given.
+    pub fn spikes(windows: &[SpikeWindow]) -> Self {
+        assert!(
+            windows.len() <= MAX_SPIKE_WINDOWS,
+            "at most {MAX_SPIKE_WINDOWS} spike windows, got {}",
+            windows.len()
+        );
+        let mut fixed = [SpikeWindow::default(); MAX_SPIKE_WINDOWS];
+        fixed[..windows.len()].copy_from_slice(windows);
+        RateProfile::Spikes {
+            windows: fixed,
+            active: windows.len(),
+        }
+    }
+
+    /// Whether this is the constant profile (the exponential fast path).
+    pub fn is_constant(&self) -> bool {
+        matches!(self, RateProfile::Constant)
+    }
+
+    /// The rate multiplier at virtual time `t` (≥ 0).
+    pub fn multiplier_at(&self, t: SimTime) -> f64 {
+        match *self {
+            RateProfile::Constant => 1.0,
+            RateProfile::Diurnal {
+                period,
+                amplitude,
+                phase,
+            } => {
+                let cycle = (t + phase).as_micros() % period.as_micros().max(1);
+                let angle = cycle as f64 / period.as_micros().max(1) as f64 * std::f64::consts::TAU;
+                (1.0 + amplitude * angle.sin()).max(0.0)
+            }
+            RateProfile::Spikes { windows, active } => windows[..active]
+                .iter()
+                .filter(|w| w.contains(t))
+                .map(|w| w.multiplier)
+                .fold(1.0, |acc, m| if acc == 1.0 { m } else { acc.max(m) }),
+        }
+    }
+
+    /// The supremum of [`RateProfile::multiplier_at`] over all `t` — the
+    /// thinning envelope rate.
+    pub fn max_multiplier(&self) -> f64 {
+        match *self {
+            RateProfile::Constant => 1.0,
+            RateProfile::Diurnal { amplitude, .. } => 1.0 + amplitude,
+            RateProfile::Spikes { windows, active } => windows[..active]
+                .iter()
+                .map(|w| w.multiplier)
+                .fold(1.0, f64::max),
+        }
+    }
+
+    /// Validates the profile's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            RateProfile::Constant => Ok(()),
+            RateProfile::Diurnal {
+                period, amplitude, ..
+            } => {
+                if period.is_zero() {
+                    return Err("diurnal period must be positive".into());
+                }
+                if !amplitude.is_finite() || !(0.0..=1.0).contains(&amplitude) {
+                    return Err(format!("diurnal amplitude out of [0, 1]: {amplitude}"));
+                }
+                Ok(())
+            }
+            RateProfile::Spikes { windows, active } => {
+                if active > MAX_SPIKE_WINDOWS {
+                    return Err(format!(
+                        "{active} spike windows exceed the {MAX_SPIKE_WINDOWS} cap"
+                    ));
+                }
+                for w in &windows[..active] {
+                    if !w.multiplier.is_finite() || w.multiplier < 0.0 {
+                        return Err(format!("spike multiplier invalid: {}", w.multiplier));
+                    }
+                    if w.duration.is_zero() {
+                        return Err("spike window duration must be positive".into());
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Draws the next arrival of the non-homogeneous Poisson process
+    /// with base rate `1 / mean_gap`, starting the search at `from`.
+    /// Returns `None` once the (thinned) arrival lands past `horizon`.
+    ///
+    /// The constant profile draws exactly one exponential gap — the same
+    /// random-stream consumption as the original homogeneous process.
+    pub fn sample_next_arrival(
+        &self,
+        mean_gap: SimDuration,
+        from: SimTime,
+        horizon: SimTime,
+        rng: &mut SimRng,
+    ) -> Option<SimTime> {
+        if self.is_constant() {
+            let gap = SimDuration::from_secs_f64(rng.exponential(mean_gap.as_secs_f64()));
+            let at = from + gap;
+            return (at <= horizon).then_some(at);
+        }
+        // Lewis–Shedler thinning at the envelope rate.
+        let envelope = self.max_multiplier();
+        debug_assert!(envelope >= 1.0, "multiplier supremum below the base rate");
+        let envelope_gap = mean_gap.as_secs_f64() / envelope;
+        let mut t = from;
+        loop {
+            t += SimDuration::from_secs_f64(rng.exponential(envelope_gap));
+            if t > horizon {
+                return None;
+            }
+            if rng.unit() < self.multiplier_at(t) / envelope {
+                return Some(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_profile_matches_the_plain_exponential_stream() {
+        let mean = SimDuration::from_secs(10);
+        let horizon = SimTime::from_secs(1_000_000);
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        let mut t = SimTime::ZERO;
+        for _ in 0..200 {
+            let gap = SimDuration::from_secs_f64(a.exponential(mean.as_secs_f64()));
+            let expected = t + gap;
+            let got = RateProfile::Constant
+                .sample_next_arrival(mean, t, horizon, &mut b)
+                .expect("inside horizon");
+            assert_eq!(got, expected, "constant path changed the draw sequence");
+            t = expected;
+        }
+    }
+
+    #[test]
+    fn diurnal_multiplier_waves_between_trough_and_peak() {
+        let p = RateProfile::diurnal_from_trough(SimDuration::from_secs(86_400), 0.8);
+        assert!(p.validate().is_ok());
+        let trough = p.multiplier_at(SimTime::ZERO);
+        let peak = p.multiplier_at(SimTime::from_secs(43_200));
+        assert!((trough - 0.2).abs() < 1e-6, "trough {trough}");
+        assert!((peak - 1.8).abs() < 1e-6, "peak {peak}");
+        assert!((p.max_multiplier() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thinning_tracks_the_diurnal_wave() {
+        let p = RateProfile::diurnal_from_trough(SimDuration::from_secs(1_000), 0.9);
+        let mean = SimDuration::from_secs_f64(0.5);
+        let horizon = SimTime::from_secs(10_000);
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut t = SimTime::ZERO;
+        let mut low_half = 0usize; // cycle positions [0, 500): around the trough
+        let mut high_half = 0usize; // cycle positions [500, 1000): around the peak
+        while let Some(at) = p.sample_next_arrival(mean, t, horizon, &mut rng) {
+            // diurnal_from_trough: trough at cycle position 0, peak at
+            // position period/2 — compare the quarter-cycles centred on
+            // each.
+            let cycle_pos = at.as_micros() % 1_000_000_000;
+            if (250_000_000..750_000_000).contains(&cycle_pos) {
+                high_half += 1;
+            } else {
+                low_half += 1;
+            }
+            t = at;
+        }
+        assert!(
+            high_half as f64 > low_half as f64 * 1.5,
+            "thinning did not follow the wave: low {low_half} high {high_half}"
+        );
+    }
+
+    #[test]
+    fn spike_windows_multiply_the_rate() {
+        let p = RateProfile::spikes(&[
+            SpikeWindow {
+                start: SimTime::from_secs(100),
+                duration: SimDuration::from_secs(50),
+                multiplier: 5.0,
+            },
+            SpikeWindow {
+                start: SimTime::from_secs(400),
+                duration: SimDuration::from_secs(50),
+                multiplier: 0.0,
+            },
+        ]);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.multiplier_at(SimTime::from_secs(99)), 1.0);
+        assert_eq!(p.multiplier_at(SimTime::from_secs(120)), 5.0);
+        assert_eq!(p.multiplier_at(SimTime::from_secs(150)), 1.0);
+        assert_eq!(p.multiplier_at(SimTime::from_secs(420)), 0.0);
+        assert_eq!(p.max_multiplier(), 5.0);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let p = RateProfile::diurnal_from_trough(SimDuration::from_secs(600), 0.5);
+        let mean = SimDuration::from_secs(1);
+        let horizon = SimTime::from_secs(3_600);
+        let draw = |seed: u64| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut t = SimTime::ZERO;
+            let mut out = Vec::new();
+            while let Some(at) = p.sample_next_arrival(mean, t, horizon, &mut rng) {
+                out.push(at);
+                t = at;
+            }
+            out
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn validation_catches_bad_profiles() {
+        let p = RateProfile::Diurnal {
+            period: SimDuration::ZERO,
+            amplitude: 0.5,
+            phase: SimDuration::ZERO,
+        };
+        assert!(p.validate().unwrap_err().contains("period"));
+        let p = RateProfile::Diurnal {
+            period: SimDuration::from_secs(60),
+            amplitude: 1.5,
+            phase: SimDuration::ZERO,
+        };
+        assert!(p.validate().unwrap_err().contains("amplitude"));
+        let p = RateProfile::spikes(&[SpikeWindow {
+            start: SimTime::ZERO,
+            duration: SimDuration::ZERO,
+            multiplier: 2.0,
+        }]);
+        assert!(p.validate().unwrap_err().contains("duration"));
+    }
+
+    #[test]
+    #[should_panic(expected = "spike windows")]
+    fn too_many_spike_windows_panic() {
+        let w = SpikeWindow {
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(1),
+            multiplier: 2.0,
+        };
+        RateProfile::spikes(&[w; MAX_SPIKE_WINDOWS + 1]);
+    }
+}

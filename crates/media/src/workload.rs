@@ -284,7 +284,8 @@ impl ViewerWorkloadBuilder {
 /// not fit and rejected viewers must be able to retry).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ChurnSpec {
-    /// Mean gap between Poisson arrivals.
+    /// Mean gap between Poisson arrivals (the *base* rate; see
+    /// [`ChurnSpec::rate_profile`]).
     pub mean_arrival_gap: SimDuration,
     /// Mean of the lognormal dwell (connected) time.
     pub mean_dwell: SimDuration,
@@ -295,6 +296,11 @@ pub struct ChurnSpec {
     pub fail_fraction: f64,
     /// How arriving viewers pick views.
     pub view_choice: ViewChoice,
+    /// How the arrival rate varies over virtual time: constant (the
+    /// original homogeneous process, byte-identical draws for existing
+    /// seeds), a sinusoidal diurnal wave, or piecewise flash spikes —
+    /// sampled by thinning (see [`crate::RateProfile`]).
+    pub rate_profile: crate::RateProfile,
 }
 
 impl ChurnSpec {
@@ -322,6 +328,7 @@ impl ChurnSpec {
             dwell_sigma: 1.0,
             fail_fraction: 0.1,
             view_choice: ViewChoice::Zipf { s: 0.8 },
+            rate_profile: crate::RateProfile::Constant,
         }
     }
 
@@ -334,6 +341,12 @@ impl ChurnSpec {
     /// Sets the view-choice model.
     pub fn with_view_choice(mut self, choice: ViewChoice) -> Self {
         self.view_choice = choice;
+        self
+    }
+
+    /// Sets the time-varying arrival-rate profile.
+    pub fn with_rate_profile(mut self, profile: crate::RateProfile) -> Self {
+        self.rate_profile = profile;
         self
     }
 
@@ -358,12 +371,30 @@ impl ChurnSpec {
                 self.fail_fraction
             ));
         }
+        self.rate_profile.validate()?;
         Ok(())
     }
 
-    /// Draws the gap to the next arrival.
+    /// Draws the gap to the next arrival *of the base (constant-rate)
+    /// process*. Time-varying specs must use
+    /// [`ChurnSpec::sample_next_arrival`] instead, which thins against
+    /// the rate profile.
     pub fn sample_gap(&self, rng: &mut SimRng) -> SimDuration {
         SimDuration::from_secs_f64(rng.exponential(self.mean_arrival_gap.as_secs_f64()))
+    }
+
+    /// Draws the next arrival instant after `from` under the spec's rate
+    /// profile; `None` once it lands past `horizon`. The constant
+    /// profile consumes exactly one exponential draw (the original
+    /// stream), so existing seeds replay byte-identically.
+    pub fn sample_next_arrival(
+        &self,
+        from: SimTime,
+        horizon: SimTime,
+        rng: &mut SimRng,
+    ) -> Option<SimTime> {
+        self.rate_profile
+            .sample_next_arrival(self.mean_arrival_gap, from, horizon, rng)
     }
 
     /// Draws one viewer's dwell (connected) time.
@@ -406,11 +437,8 @@ impl ChurnSpec {
             .map(|i| std::cmp::Reverse((SimTime::ZERO, i)))
             .collect();
         let mut t = SimTime::ZERO;
-        loop {
-            t += self.sample_gap(rng);
-            if t > horizon {
-                break;
-            }
+        while let Some(next) = self.sample_next_arrival(t, horizon, rng) {
+            t = next;
             let Some(&std::cmp::Reverse((free_at, viewer))) = free.peek() else {
                 break;
             };

@@ -237,6 +237,24 @@ impl CapacityAccount {
         self.used -= amount;
     }
 
+    /// Replaces the total capacity, keeping current reservations intact —
+    /// the primitive behind elastic pools (CDN autoscaling grows and
+    /// shrinks its outbound account without disturbing live leases).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_total` is below the currently reserved amount;
+    /// shrinking under live reservations is an accounting bug — callers
+    /// must clamp to [`CapacityAccount::used`] first.
+    pub fn resize(&mut self, new_total: Bandwidth) {
+        assert!(
+            new_total >= self.used,
+            "resize to {new_total} below reserved {}",
+            self.used
+        );
+        self.total = new_total;
+    }
+
     /// Fraction of capacity in use, in `[0, 1]`; 0 for a zero-capacity
     /// account.
     pub fn utilisation(&self) -> f64 {
@@ -383,6 +401,26 @@ mod tests {
         let mut acct = CapacityAccount::new(Bandwidth::from_mbps(2));
         acct.reserve(Bandwidth::from_mbps(2)).expect("exact fit");
         assert!(!acct.can_reserve(Bandwidth::from_kbps(1)));
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks_around_reservations() {
+        let mut acct = CapacityAccount::new(Bandwidth::from_mbps(6));
+        acct.reserve(Bandwidth::from_mbps(4)).expect("fits");
+        acct.resize(Bandwidth::from_mbps(10));
+        assert_eq!(acct.total(), Bandwidth::from_mbps(10));
+        assert_eq!(acct.available(), Bandwidth::from_mbps(6));
+        acct.resize(Bandwidth::from_mbps(4));
+        assert_eq!(acct.available(), Bandwidth::ZERO);
+        assert_eq!(acct.used(), Bandwidth::from_mbps(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "below reserved")]
+    fn resize_under_reservations_panics() {
+        let mut acct = CapacityAccount::new(Bandwidth::from_mbps(6));
+        acct.reserve(Bandwidth::from_mbps(4)).expect("fits");
+        acct.resize(Bandwidth::from_mbps(3));
     }
 
     #[test]

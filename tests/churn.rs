@@ -16,6 +16,7 @@ fn small_scenario(seed: u64) -> ChurnScenario {
         churn_per_minute: 0.05,
         backend: telecast::DelayModelChoice::Dense,
         seed,
+        ..ChurnScenario::default()
     }
 }
 
