@@ -28,7 +28,7 @@
 
 use telecast::{GroupScope, OutboundPolicy, PlacementStrategy, SessionConfig};
 
-/// The Random dissemination baseline ([19] in the paper):
+/// The Random dissemination baseline (\[19\] in the paper):
 ///
 /// * placement: a few uniformly random probes over the whole session
 ///   population ("a joining node is randomly attached to another node,

@@ -1,0 +1,148 @@
+//! The bench-regression CI gate.
+//!
+//! Compares the scenario results under `results/` against the
+//! checked-in `BENCH_baseline.json`: each baselined metric must sit
+//! within its relative tolerance of the recorded value, and the run's
+//! wall clock (from the gitignored `results/<id>.meta.json` side file)
+//! must stay under the scenario's absolute budget. Exits non-zero on
+//! any regression, so CI fails the job.
+//!
+//! ```sh
+//! # check one scenario (CI runs this right after the scenario bin):
+//! cargo run --release -p telecast-bench --bin bench_gate -- --scenario spike_storm
+//! # check everything recorded in the baseline:
+//! cargo run --release -p telecast-bench --bin bench_gate
+//! # intentional change: re-record values, keep tolerances and budgets:
+//! cargo run --release -p telecast-bench --bin bench_gate -- --update
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use telecast_bench::gate;
+use telecast_bench::GateBaseline;
+
+struct GateArgs {
+    baseline: PathBuf,
+    results: PathBuf,
+    scenarios: Vec<String>,
+    update: bool,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<GateArgs, String> {
+    let mut out = GateArgs {
+        baseline: PathBuf::from("BENCH_baseline.json"),
+        results: PathBuf::from("results"),
+        scenarios: Vec::new(),
+        update: false,
+    };
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scenario" => {
+                let v = args.next().ok_or("--scenario expects a name")?;
+                out.scenarios.push(v);
+            }
+            "--baseline" => {
+                out.baseline = PathBuf::from(args.next().ok_or("--baseline expects a path")?);
+            }
+            "--results" => {
+                out.results = PathBuf::from(args.next().ok_or("--results expects a directory")?);
+            }
+            "--update" => out.update = true,
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (expected --scenario NAME, \
+                     --baseline PATH, --results DIR, --update)"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let raw = match std::fs::read_to_string(&args.baseline) {
+        Ok(raw) => raw,
+        Err(err) => {
+            eprintln!("error: cannot read {}: {err}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut baseline = match GateBaseline::from_json(&raw) {
+        Ok(doc) => doc,
+        Err(msg) => {
+            eprintln!("error: {}: {msg}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+    };
+    let selected =
+        |name: &str| args.scenarios.is_empty() || args.scenarios.iter().any(|s| s == name);
+    for wanted in &args.scenarios {
+        if baseline.scenario(wanted).is_none() {
+            eprintln!(
+                "error: scenario `{wanted}` is not in {}",
+                args.baseline.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    if args.update {
+        for scenario in baseline.scenarios.iter_mut().filter(|s| selected(&s.name)) {
+            if let Err(msg) = gate::update_scenario(scenario, &args.results) {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+            println!(
+                "re-recorded `{}` from {}",
+                scenario.name,
+                args.results.display()
+            );
+        }
+        if let Err(err) = std::fs::write(&args.baseline, baseline.to_json()) {
+            eprintln!("error: cannot write {}: {err}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", args.baseline.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut regressions = 0usize;
+    for scenario in baseline.scenarios.iter().filter(|s| selected(&s.name)) {
+        println!("== bench gate: {} ({}) ==", scenario.name, scenario.args);
+        match gate::evaluate_scenario(scenario, &args.results) {
+            Ok((report, failures)) => {
+                print!("{report}");
+                if failures.is_empty() {
+                    println!("  PASS\n");
+                } else {
+                    for f in &failures {
+                        eprintln!("  FAIL {f}");
+                    }
+                    eprintln!();
+                    regressions += failures.len();
+                }
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench gate: {regressions} regression(s); re-record intentional changes with --update"
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

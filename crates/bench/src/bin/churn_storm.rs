@@ -25,6 +25,14 @@ use telecast_bench::{run_churn, ChurnScenario, ScenarioArgs};
 
 fn main() {
     let args = ScenarioArgs::from_env();
+    if args.predictive || args.per_region {
+        eprintln!(
+            "warning: churn_storm ignores --predictive/--per-region \
+             (reactive autoscaling over the global pool only; \
+             see spike_storm for per-region predictive scaling). \
+             --predictive's implied --autoscale stays in effect."
+        );
+    }
     let defaults = ChurnScenario::default();
     let scenario = ChurnScenario {
         viewers: args.viewers.unwrap_or(defaults.viewers),
@@ -72,5 +80,5 @@ fn main() {
             outcome.final_provisioned_mbps,
         );
     }
-    telecast_bench::emit(&outcome.figure);
+    telecast_bench::emit_with_wall(&outcome.figure, wall);
 }

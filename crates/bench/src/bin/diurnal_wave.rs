@@ -28,6 +28,14 @@ use telecast_bench::{run_diurnal, DiurnalScenario, ScenarioArgs};
 
 fn main() {
     let args = ScenarioArgs::from_env();
+    if args.predictive || args.per_region {
+        eprintln!(
+            "warning: diurnal_wave ignores --predictive/--per-region \
+             (reactive autoscaling over the global pool only; \
+             see spike_storm for per-region predictive scaling). \
+             --predictive's implied --autoscale stays in effect."
+        );
+    }
     let defaults = DiurnalScenario::default();
     let minutes = args.minutes.unwrap_or(defaults.minutes);
     let scenario = DiurnalScenario {
@@ -71,5 +79,5 @@ fn main() {
         "  provisioned bill     : ${:.2} (Mbps-hours at the committed rate)",
         outcome.provisioned_dollars
     );
-    telecast_bench::emit(&outcome.figure);
+    telecast_bench::emit_with_wall(&outcome.figure, wall);
 }

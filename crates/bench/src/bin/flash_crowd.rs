@@ -35,10 +35,11 @@ fn main() {
              (the kickoff is instantaneous; see churn_storm for sustained churn)"
         );
     }
-    if args.autoscale {
+    if args.autoscale || args.predictive || args.per_region {
         eprintln!(
-            "warning: flash_crowd ignores --autoscale \
-             (the kickoff completes before a scale tick; see churn_storm/diurnal_wave)"
+            "warning: flash_crowd ignores --autoscale/--predictive/--per-region \
+             (the kickoff completes before a scale tick; see churn_storm, \
+             diurnal_wave and spike_storm)"
         );
     }
     let viewers = args.viewers.unwrap_or(10_000);
@@ -110,5 +111,5 @@ fn main() {
             ),
         ],
     };
-    telecast_bench::emit(&figure);
+    telecast_bench::emit_with_wall(&figure, wall);
 }

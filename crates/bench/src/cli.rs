@@ -26,6 +26,10 @@ pub struct ScenarioArgs {
     pub pool_mbps: Option<u64>,
     /// `--autoscale`: enable elastic CDN autoscaling.
     pub autoscale: bool,
+    /// `--predictive`: forecast-driven scaling (implies `--autoscale`).
+    pub predictive: bool,
+    /// `--per-region`: split the CDN pool into per-region pools.
+    pub per_region: bool,
 }
 
 impl ScenarioArgs {
@@ -84,6 +88,13 @@ impl ScenarioArgs {
                 "--autoscale" => {
                     out.autoscale = true;
                 }
+                "--predictive" => {
+                    out.predictive = true;
+                    out.autoscale = true;
+                }
+                "--per-region" => {
+                    out.per_region = true;
+                }
                 other => {
                     // Bare positional integer = viewer count (the original
                     // `flash_crowd <N>` interface). The same positivity
@@ -97,7 +108,8 @@ impl ScenarioArgs {
                                 "unknown argument `{other}` \
                                  (expected --viewers N, --minutes M, \
                                  --backend dense|coordinate|auto, --seed S, \
-                                 --churn-pct P, --pool-mbps N, --autoscale)"
+                                 --churn-pct P, --pool-mbps N, --autoscale, \
+                                 --predictive, --per-region)"
                             ))
                         }
                     }
@@ -165,6 +177,8 @@ mod tests {
             "--pool-mbps",
             "800",
             "--autoscale",
+            "--predictive",
+            "--per-region",
         ])
         .unwrap();
         assert_eq!(args.viewers, Some(20_000));
@@ -174,6 +188,19 @@ mod tests {
         assert_eq!(args.churn_pct, Some(1.5));
         assert_eq!(args.pool_mbps, Some(800));
         assert!(args.autoscale);
+        assert!(args.predictive);
+        assert!(args.per_region);
+    }
+
+    #[test]
+    fn predictive_implies_autoscale() {
+        let args = parse(&["--predictive"]).unwrap();
+        assert!(args.predictive);
+        assert!(
+            args.autoscale,
+            "--predictive without the autoscaler is inert"
+        );
+        assert!(!parse(&["--autoscale"]).unwrap().predictive);
     }
 
     #[test]

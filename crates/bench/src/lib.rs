@@ -13,15 +13,19 @@ pub mod churn;
 pub mod cli;
 pub mod diurnal;
 pub mod figures;
+pub mod gate;
 pub mod harness;
 pub mod json;
+pub mod spike;
 pub mod table;
 
 pub use churn::{autoscale_policy_for, run_churn, ChurnOutcome, ChurnScenario};
 pub use cli::ScenarioArgs;
 pub use diurnal::{run_diurnal, DiurnalOutcome, DiurnalScenario};
 pub use figures::Scale;
+pub use gate::{GateBaseline, MetricCheck, ScenarioBaseline};
 pub use harness::{run_scenario, RunResult, Scenario};
+pub use spike::{run_spike, SpikeOutcome, SpikeScenario};
 pub use table::{FigureData, Series};
 
 /// Prints a figure's table to stdout and writes `results/<id>.json`.
@@ -33,5 +37,29 @@ pub fn emit(figure: &FigureData) {
     match figure.write_json("results") {
         Ok(()) => println!("# wrote results/{}.json\n", figure.id),
         Err(err) => eprintln!("# could not write results/{}.json: {err}\n", figure.id),
+    }
+}
+
+/// [`emit`], plus the machine-local side channel the bench-regression
+/// gate reads: `results/<id>.meta.json` carrying the run's wall-clock
+/// seconds and the exact invocation arguments (so the gate can refuse
+/// to compare results produced by a different invocation than the
+/// baseline records). The meta file is *not* part of the deterministic
+/// figure export (and is gitignored) — wall clock is the one number
+/// that varies between machines.
+pub fn emit_with_wall(figure: &FigureData, wall_seconds: f64) {
+    emit(figure);
+    let invocation: Vec<String> = std::env::args().skip(1).collect();
+    let mut meta = String::new();
+    meta.push_str("{\n  \"scenario\": ");
+    json::write_escaped(&mut meta, &figure.id);
+    meta.push_str(",\n  \"args\": ");
+    json::write_escaped(&mut meta, &invocation.join(" "));
+    meta.push_str(",\n  \"wall_seconds\": ");
+    json::write_number(&mut meta, wall_seconds);
+    meta.push_str("\n}\n");
+    let path = format!("results/{}.meta.json", figure.id);
+    if let Err(err) = std::fs::write(&path, meta) {
+        eprintln!("# could not write {path}: {err}\n");
     }
 }

@@ -142,11 +142,100 @@ impl AutoscalePolicy {
     }
 }
 
+/// The predictive extension of an [`AutoscalePolicy`]: instead of
+/// reacting to the utilisation band alone, the controller provisions for
+/// a short-horizon *demand forecast*,
+///
+/// ```text
+/// forecast(t) = used(t) + horizon · (trend(t) + inflow(t) · (phase_ratio − 1))
+/// ```
+///
+/// where `trend` is an EWMA of the observed *net* demand drift (how fast
+/// the pool's reserved Mbps is moving — the stock the standing audience
+/// integrates), `inflow` an EWMA of the observed *fresh arrival* demand
+/// rate (the flow the churn profile modulates; both fed by the owner
+/// via [`Autoscaler::observe_demand`]), and `phase_ratio` the session's
+/// arrival-rate profile looked up `horizon` ahead relative to now (see
+/// `telecast_media::RateProfile::forecast_ratio`). In steady state
+/// (flat trend, `phase_ratio ≈ 1`) the forecast is just the current
+/// demand — no standing over-provision; under audience growth the trend
+/// term leads the demand instead of lagging a step behind it; ahead of
+/// a spike the `(ratio − 1)` surge term grows the pool *before* the
+/// first rejected join, and ahead of a trough it releases early. The
+/// pool is steered toward `forecast / target_utilisation`, moving up to
+/// [`PREDICTIVE_MAX_UP_STEPS`] steps per decision upward (several times
+/// the reactive climb rate, without betting the whole ceiling on one
+/// noisy observation) and directly to the target downward — never below
+/// the headroom today's demand needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictivePolicy {
+    /// How far ahead demand is forecast. Should cover at least one
+    /// policy period plus the scale-up cooldown so the pool is grown
+    /// before the forecast materialises.
+    pub horizon: SimDuration,
+    /// EWMA smoothing factor for the observed arrival demand, in
+    /// `(0, 1]` — higher weighs recent ticks more.
+    pub alpha: f64,
+    /// Utilisation the forecast demand is provisioned at (the point
+    /// inside the reactive band the pool is steered to), in `(0, 1]`.
+    pub target_utilisation: f64,
+}
+
+/// Most steps one predictive scale-up may jump at once.
+pub const PREDICTIVE_MAX_UP_STEPS: u64 = 3;
+
+impl Default for PredictivePolicy {
+    /// Forecast 90 s ahead, EWMA α = 0.3, provision the forecast at 70%
+    /// utilisation.
+    fn default() -> Self {
+        PredictivePolicy {
+            horizon: SimDuration::from_secs(90),
+            alpha: 0.3,
+            target_utilisation: 0.70,
+        }
+    }
+}
+
+impl PredictivePolicy {
+    /// Validates the policy's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.horizon.is_zero() {
+            return Err("predictive horizon must be positive".into());
+        }
+        if !(self.alpha.is_finite() && self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(format!("predictive alpha out of (0, 1]: {}", self.alpha));
+        }
+        if !(self.target_utilisation.is_finite()
+            && self.target_utilisation > 0.0
+            && self.target_utilisation <= 1.0)
+        {
+            return Err(format!(
+                "predictive target utilisation out of (0, 1]: {}",
+                self.target_utilisation
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The stateful autoscale controller: policy plus per-direction cooldown
-/// bookkeeping and action counters.
+/// bookkeeping and action counters. Every regional pool gets its *own*
+/// instance — the cooldown timestamps live here, so one region's
+/// scale-up never silences another region's (a shared controller would
+/// gate all regions on whichever scaled last).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Autoscaler {
     policy: AutoscalePolicy,
+    predictive: Option<PredictivePolicy>,
+    /// EWMA of observed fresh arrival demand, Mbps per second.
+    ewma_demand: f64,
+    /// EWMA of the observed net drift of reserved pool demand, Mbps per
+    /// second (positive while the audience grows).
+    ewma_trend: f64,
     last_up: Option<SimTime>,
     last_down: Option<SimTime>,
     ups: u64,
@@ -154,7 +243,7 @@ pub struct Autoscaler {
 }
 
 impl Autoscaler {
-    /// Creates a controller for `policy`.
+    /// Creates a reactive (utilisation-band) controller for `policy`.
     ///
     /// # Panics
     ///
@@ -165,11 +254,67 @@ impl Autoscaler {
         }
         Autoscaler {
             policy,
+            predictive: None,
+            ewma_demand: 0.0,
+            ewma_trend: 0.0,
             last_up: None,
             last_down: None,
             ups: 0,
             downs: 0,
         }
+    }
+
+    /// Creates a predictive controller: `policy` still supplies the
+    /// bounds, step quantum, period and cooldowns; `predictive` drives
+    /// the forecast-based target (see [`PredictivePolicy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either policy is invalid.
+    pub fn predictive(policy: AutoscalePolicy, predictive: PredictivePolicy) -> Self {
+        if let Err(msg) = predictive.validate() {
+            panic!("invalid predictive policy: {msg}");
+        }
+        Autoscaler {
+            predictive: Some(predictive),
+            ..Autoscaler::new(policy)
+        }
+    }
+
+    /// Whether this controller scales on a demand forecast rather than
+    /// the utilisation band alone.
+    pub fn is_predictive(&self) -> bool {
+        self.predictive.is_some()
+    }
+
+    /// The predictive extension, when configured.
+    pub fn predictive_policy(&self) -> Option<&PredictivePolicy> {
+        self.predictive.as_ref()
+    }
+
+    /// Feeds one tick's observations into the forecaster's EWMAs:
+    /// `inflow_mbps_per_sec` is the fresh arrival demand (Mbps of new
+    /// stream requests per second since the last tick), and
+    /// `trend_mbps_per_sec` the net drift of the pool's reserved demand
+    /// over the same window. No-op on reactive controllers.
+    pub fn observe_demand(&mut self, inflow_mbps_per_sec: f64, trend_mbps_per_sec: f64) {
+        if let Some(pred) = self.predictive {
+            self.ewma_demand =
+                pred.alpha * inflow_mbps_per_sec + (1.0 - pred.alpha) * self.ewma_demand;
+            self.ewma_trend =
+                pred.alpha * trend_mbps_per_sec + (1.0 - pred.alpha) * self.ewma_trend;
+        }
+    }
+
+    /// The current EWMA of observed arrival demand, Mbps per second.
+    pub fn demand_rate(&self) -> f64 {
+        self.ewma_demand
+    }
+
+    /// The current EWMA of the net reserved-demand drift, Mbps per
+    /// second.
+    pub fn demand_trend(&self) -> f64 {
+        self.ewma_trend
     }
 
     /// The policy in effect.
@@ -215,6 +360,81 @@ impl Autoscaler {
             // immediately re-trigger a scale-up.
             let floor = pool.used().max(p.min);
             let to = total.saturating_sub(p.step).max(floor);
+            if to < total {
+                self.last_down = Some(now);
+                self.downs += 1;
+                return Some(ScaleDecision {
+                    direction: ScaleDirection::Down,
+                    from: total,
+                    to,
+                });
+            }
+        }
+        None
+    }
+
+    /// Evaluates the *predictive* policy against `pool` at virtual time
+    /// `now`. `phase_ratio` is the arrival-rate profile's multiplier at
+    /// `now + horizon` relative to now (1.0 when no profile is known).
+    /// Falls back to [`Autoscaler::evaluate`] on reactive controllers.
+    ///
+    /// Unlike the reactive step walk, a predictive decision moves the
+    /// pool *directly* to the forecast target (quantised to step
+    /// multiples above `min`, clamped to the policy bounds), in either
+    /// direction, still rate-limited by the per-direction cooldowns.
+    pub fn evaluate_predictive(
+        &mut self,
+        now: SimTime,
+        pool: &CapacityAccount,
+        phase_ratio: f64,
+    ) -> Option<ScaleDecision> {
+        let Some(pred) = self.predictive else {
+            return self.evaluate(now, pool);
+        };
+        let p = self.policy;
+        let used = pool.used().as_mbps_f64();
+        // The surge term: the demand drift already underway plus the
+        // scheduled change of the arrival flow over the horizon (the
+        // steady-state flow itself is balanced by departures).
+        let surge = pred.horizon.as_secs_f64()
+            * (self.ewma_trend + self.ewma_demand * (phase_ratio.max(0.0) - 1.0));
+        let target_mbps = {
+            let raw = (used + surge).max(0.0) / pred.target_utilisation;
+            let min = p.min.as_mbps_f64();
+            let step = p.step.as_mbps_f64();
+            let stepped = if raw <= min {
+                min
+            } else {
+                min + ((raw - min) / step).ceil() * step
+            };
+            stepped.clamp(min, p.max.as_mbps_f64())
+        };
+        let target = Bandwidth::from_kbps((target_mbps * 1_000.0).round() as u64);
+        let total = pool.total();
+        // A confident forecast still moves in bounded jumps upward.
+        let target = target.min(total + p.step * PREDICTIVE_MAX_UP_STEPS);
+        if target > total && self.cooled(self.last_up, p.up_cooldown, now) {
+            self.last_up = Some(now);
+            self.ups += 1;
+            return Some(ScaleDecision {
+                direction: ScaleDirection::Up,
+                from: total,
+                to: target,
+            });
+        }
+        // Downward moves carry a two-step deadband: a one-step dip in
+        // the forecast is noise more often than a lull, and a release
+        // that has to be re-bought a tick later costs both money and
+        // (briefly) headroom.
+        if target + p.step * 2 <= total && self.cooled(self.last_down, p.down_cooldown, now) {
+            // An anticipated lull never strips the *current* demand of
+            // its headroom — release only what today's load does not
+            // need, and let the rest follow `used` down. Shrinking to
+            // exactly `used` would reject the very next arrival.
+            let floor = Bandwidth::from_kbps(
+                (pool.used().as_mbps_f64() / pred.target_utilisation * 1_000.0).round() as u64,
+            );
+            let to = target.max(floor).max(p.min);
             if to < total {
                 self.last_down = Some(now);
                 self.downs += 1;
@@ -347,6 +567,155 @@ mod tests {
         // Tiny pools still move in useful steps.
         let p = AutoscalePolicy::for_pool(Bandwidth::from_mbps(100), Bandwidth::from_mbps(5_000));
         assert_eq!(p.step, Bandwidth::from_mbps(250));
+    }
+
+    #[test]
+    fn predictive_prescales_on_the_forecast_despite_low_utilisation() {
+        let pred = PredictivePolicy {
+            horizon: SimDuration::from_secs(60),
+            alpha: 1.0,
+            target_utilisation: 0.5,
+        };
+        let mut scaler = Autoscaler::predictive(
+            AutoscalePolicy {
+                max: Bandwidth::from_mbps(10_000),
+                ..policy()
+            },
+            pred,
+        );
+        // Utilisation 0.4 — the reactive band would scale *down*. The
+        // forecast (10 Mbps/s of fresh demand, a 5× spike one horizon
+        // ahead) steers the pool up instead, several steps at once.
+        scaler.observe_demand(10.0, 0.0);
+        let d = scaler
+            .evaluate_predictive(SimTime::from_secs(10), &pool(1_000, 400), 5.0)
+            .expect("forecast exceeds the pool");
+        assert_eq!(d.direction, ScaleDirection::Up);
+        // Surge 10·60·(5−1) = 2400 over used 400 at 50% target → 5600,
+        // quantised to 6000, capped at 3 steps above the pool → 4000.
+        assert_eq!(d.to, Bandwidth::from_mbps(4_000));
+        assert_eq!(scaler.scale_ups(), 1);
+    }
+
+    #[test]
+    fn predictive_holds_steady_state_without_over_provisioning() {
+        let pred = PredictivePolicy {
+            horizon: SimDuration::from_secs(60),
+            alpha: 1.0,
+            target_utilisation: 0.8,
+        };
+        let mut scaler = Autoscaler::predictive(
+            AutoscalePolicy {
+                max: Bandwidth::from_mbps(10_000),
+                ..policy()
+            },
+            pred,
+        );
+        // Steady state: arrivals flow but the phase ratio is 1, so the
+        // surge term vanishes — a pool sitting at the target utilisation
+        // is left alone in both directions.
+        scaler.observe_demand(25.0, 0.0);
+        assert!(scaler
+            .evaluate_predictive(SimTime::from_secs(10), &pool(2_000, 1_500), 1.0)
+            .is_none());
+    }
+
+    #[test]
+    fn predictive_releases_capacity_when_the_forecast_falls() {
+        let pred = PredictivePolicy {
+            horizon: SimDuration::from_secs(60),
+            alpha: 1.0,
+            target_utilisation: 0.5,
+        };
+        let mut scaler = Autoscaler::predictive(
+            AutoscalePolicy {
+                max: Bandwidth::from_mbps(10_000),
+                ..policy()
+            },
+            pred,
+        );
+        scaler.observe_demand(0.0, 0.0);
+        // 7000 Mbps provisioned, 400 used, no inflow: the target drops
+        // to min in one decision instead of one step per cooldown.
+        let d = scaler
+            .evaluate_predictive(SimTime::from_secs(10), &pool(7_000, 400), 1.0)
+            .expect("forecast far below the pool");
+        assert_eq!(d.direction, ScaleDirection::Down);
+        assert_eq!(d.to, Bandwidth::from_mbps(1_000));
+    }
+
+    #[test]
+    fn predictive_still_respects_cooldowns_and_bounds() {
+        let pred = PredictivePolicy {
+            horizon: SimDuration::from_secs(60),
+            alpha: 1.0,
+            target_utilisation: 0.5,
+        };
+        let mut scaler = Autoscaler::predictive(policy(), pred);
+        scaler.observe_demand(50.0, 0.0);
+        // Target would be huge; clamped at max (4000).
+        let d = scaler
+            .evaluate_predictive(SimTime::from_secs(10), &pool(1_000, 900), 2.0)
+            .expect("scale up");
+        assert_eq!(d.to, Bandwidth::from_mbps(4_000));
+        // Up-cooldown (30 s) still gates the next action.
+        assert!(scaler
+            .evaluate_predictive(SimTime::from_secs(20), &pool(1_000, 900), 2.0)
+            .is_none());
+    }
+
+    #[test]
+    fn reactive_controllers_ignore_demand_observations() {
+        let mut scaler = Autoscaler::new(policy());
+        scaler.observe_demand(1_000.0, 500.0);
+        assert_eq!(scaler.demand_rate(), 0.0);
+        assert!(!scaler.is_predictive());
+        // evaluate_predictive falls back to the reactive band.
+        assert!(scaler
+            .evaluate_predictive(SimTime::from_secs(10), &pool(2_000, 1_400), 9.0)
+            .is_none());
+    }
+
+    #[test]
+    fn regional_instances_keep_independent_cooldown_clocks() {
+        // One controller per regional pool: region A scaling up at t=10
+        // must not start region B's cooldown. (A shared controller — the
+        // pre-region-split bug this guards against — would return None
+        // for B at t=12.)
+        let mut a = Autoscaler::new(policy());
+        let mut b = Autoscaler::new(policy());
+        assert!(a
+            .evaluate(SimTime::from_secs(10), &pool(1_000, 950))
+            .is_some());
+        assert!(
+            b.evaluate(SimTime::from_secs(12), &pool(1_000, 980))
+                .is_some(),
+            "region B's fresh controller was gated by region A's cooldown"
+        );
+        // And A itself is still cooling.
+        assert!(a
+            .evaluate(SimTime::from_secs(12), &pool(2_000, 1_990))
+            .is_none());
+    }
+
+    #[test]
+    fn predictive_validation_catches_bad_parameters() {
+        assert!(PredictivePolicy::default().validate().is_ok());
+        let p = PredictivePolicy {
+            alpha: 0.0,
+            ..Default::default()
+        };
+        assert!(p.validate().unwrap_err().contains("alpha"));
+        let p = PredictivePolicy {
+            horizon: SimDuration::ZERO,
+            ..Default::default()
+        };
+        assert!(p.validate().unwrap_err().contains("horizon"));
+        let p = PredictivePolicy {
+            target_utilisation: 1.5,
+            ..Default::default()
+        };
+        assert!(p.validate().unwrap_err().contains("utilisation"));
     }
 
     #[test]

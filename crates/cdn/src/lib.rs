@@ -39,7 +39,7 @@ mod cost;
 mod distribution;
 mod server;
 
-pub use autoscale::{AutoscalePolicy, Autoscaler, ScaleDecision, ScaleDirection};
+pub use autoscale::{AutoscalePolicy, Autoscaler, PredictivePolicy, ScaleDecision, ScaleDirection};
 pub use cost::{CostModel, ProvisionedMeter, TrafficMeter};
 pub use distribution::{Distribution, IngestStats};
 pub use server::{EdgeServer, ServerId};
@@ -58,11 +58,50 @@ use telecast_sim::{SimDuration, SimTime};
 /// edges.
 pub const MAX_EDGES_PER_REGION: u64 = 8;
 
+/// How the CDN's outbound capacity is pooled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PoolScope {
+    /// One shared pool for every region — the paper's model and the
+    /// default. A stream for any region draws from the same account.
+    #[default]
+    Global,
+    /// One pool per [`Region`], the total split by
+    /// [`Region::weight_percent`] (the viewer-population shares). A
+    /// stream can only draw from its own region's pool, so a saturated
+    /// region rejects even while another has headroom — the regime
+    /// regional autoscaling exists to manage.
+    PerRegion,
+}
+
+/// Splits `total` into per-slot capacities under `scope`: one slot
+/// holding everything for [`PoolScope::Global`], one per region
+/// (weighted by [`Region::weight_percent`], remainder to the first
+/// region) for [`PoolScope::PerRegion`]. The slot capacities always sum
+/// exactly to `total`.
+pub fn split_capacity(total: Bandwidth, scope: PoolScope) -> Vec<Bandwidth> {
+    match scope {
+        PoolScope::Global => vec![total],
+        PoolScope::PerRegion => {
+            let kbps = total.as_kbps();
+            let mut slots: Vec<Bandwidth> = Region::ALL
+                .iter()
+                .map(|r| Bandwidth::from_kbps(kbps / 100 * r.weight_percent()))
+                .collect();
+            let assigned: u64 = slots.iter().map(|b| b.as_kbps()).sum();
+            slots[0] += Bandwidth::from_kbps(kbps - assigned);
+            slots
+        }
+    }
+}
+
 /// Configuration of the simulated CDN.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CdnConfig {
     /// Total outbound capacity usable by the 3DTI session (`C_cdn_obw`).
     pub outbound_capacity: Bandwidth,
+    /// Whether the outbound capacity is one global pool (the paper's
+    /// model) or split into per-region pools.
+    pub pool_scope: PoolScope,
     /// Producer→viewer delivery delay through the CDN (the paper's `Δ`;
     /// 60 s in the evaluation — the non-interactive viewers tolerate it).
     pub delta: SimDuration,
@@ -83,6 +122,7 @@ impl Default for CdnConfig {
     fn default() -> Self {
         CdnConfig {
             outbound_capacity: Bandwidth::from_mbps(6_000),
+            pool_scope: PoolScope::Global,
             delta: SimDuration::from_secs(60),
             dollars_per_gb: 0.18,
             dollars_per_mbps_hour: 0.03,
@@ -106,6 +146,14 @@ impl CdnConfig {
     pub fn with_outbound(self, outbound: Bandwidth) -> Self {
         CdnConfig {
             outbound_capacity: outbound,
+            ..self
+        }
+    }
+
+    /// Same configuration with a different pool scope.
+    pub fn with_pool_scope(self, scope: PoolScope) -> Self {
+        CdnConfig {
+            pool_scope: scope,
             ..self
         }
     }
@@ -137,12 +185,15 @@ impl Error for CdnRejectedError {}
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CdnLease(u64);
 
-/// The simulated CDN: bounded (but elastic) outbound pool + per-region
+/// The simulated CDN: bounded (but elastic) outbound pool(s) + per-region
 /// edge servers.
 #[derive(Debug, Clone)]
 pub struct Cdn {
     config: CdnConfig,
-    outbound: CapacityAccount,
+    /// The outbound capacity accounts — one slot under
+    /// [`PoolScope::Global`], one per region (in [`Region::ALL`] order)
+    /// under [`PoolScope::PerRegion`].
+    pools: Vec<CapacityAccount>,
     /// Every edge ever provisioned, indexed directly by
     /// [`ServerId::index`]; retired edges stay as drained tombstones so
     /// the id → server mapping never shifts.
@@ -150,49 +201,93 @@ pub struct Cdn {
     /// Active (non-retired) edge ids per region, in [`Region::ALL`]
     /// order — the O(1) region lookup behind [`Cdn::serve`].
     region_active: Vec<Vec<ServerId>>,
-    leases: HashMap<CdnLease, (StreamId, Bandwidth, ServerId)>,
+    leases: HashMap<CdnLease, (StreamId, Bandwidth, ServerId, usize)>,
     next_lease: u64,
     meter: TrafficMeter,
-    provisioned: ProvisionedMeter,
+    /// Provisioned-capacity meters, one per pool slot.
+    provisioned: Vec<ProvisionedMeter>,
 }
 
 impl Cdn {
     /// Builds a CDN with at least one edge server per region (more when
     /// the initial pool spans several `edge_unit`s).
     pub fn new(config: CdnConfig) -> Self {
+        let slots = split_capacity(config.outbound_capacity, config.pool_scope);
         let mut cdn = Cdn {
             config,
-            outbound: CapacityAccount::new(config.outbound_capacity),
+            pools: slots.iter().map(|&cap| CapacityAccount::new(cap)).collect(),
             edges: Vec::new(),
             region_active: vec![Vec::new(); Region::ALL.len()],
             leases: HashMap::new(),
             next_lease: 0,
             meter: TrafficMeter::new(CostModel::per_gb(config.dollars_per_gb)),
-            provisioned: ProvisionedMeter::new(
-                config.dollars_per_mbps_hour,
-                config.outbound_capacity,
-            ),
+            provisioned: slots
+                .iter()
+                .map(|&cap| ProvisionedMeter::new(config.dollars_per_mbps_hour, cap))
+                .collect(),
         };
         cdn.retarget_edges();
         cdn
     }
 
-    /// How many edges each region should hold for `capacity`.
-    fn target_edges_per_region(&self, capacity: Bandwidth) -> u64 {
+    /// Number of pool slots: 1 under [`PoolScope::Global`],
+    /// [`Region::ALL`]`.len()` under [`PoolScope::PerRegion`].
+    pub fn pool_slots(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// The pool slot serving `region`.
+    pub fn slot_of(&self, region: Region) -> usize {
+        match self.config.pool_scope {
+            PoolScope::Global => 0,
+            PoolScope::PerRegion => region.index(),
+        }
+    }
+
+    /// The capacity account of one pool slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.pool_slots()`.
+    pub fn pool(&self, slot: usize) -> &CapacityAccount {
+        &self.pools[slot]
+    }
+
+    /// The region a slot serves, or `None` for the global slot.
+    pub fn slot_region(&self, slot: usize) -> Option<Region> {
+        match self.config.pool_scope {
+            PoolScope::Global => None,
+            PoolScope::PerRegion => Some(Region::ALL[slot]),
+        }
+    }
+
+    /// How many edges `region` should hold when its pool share is
+    /// `capacity`.
+    fn target_edges_for_share(&self, capacity: Bandwidth) -> u64 {
         let unit = self.config.edge_unit.as_kbps().max(1);
-        let regions = Region::ALL.len() as u64;
-        let per_region_share = capacity.as_kbps() / regions;
-        let target = per_region_share / unit + u64::from(per_region_share % unit != 0);
+        let share = capacity.as_kbps();
+        let target = share / unit + u64::from(share % unit != 0);
         target.clamp(1, MAX_EDGES_PER_REGION)
     }
 
+    /// The pool share backing `region`'s edges: an even split of the
+    /// global pool, or the region's own pool under per-region scope.
+    fn region_share(&self, region: Region) -> Bandwidth {
+        match self.config.pool_scope {
+            PoolScope::Global => {
+                Bandwidth::from_kbps(self.pools[0].total().as_kbps() / Region::ALL.len() as u64)
+            }
+            PoolScope::PerRegion => self.pools[region.index()].total(),
+        }
+    }
+
     /// Grows/retires edges so each region holds the target count for the
-    /// current pool. Growth appends fresh [`ServerId`]s; shrinking
+    /// current pool(s). Growth appends fresh [`ServerId`]s; shrinking
     /// retires only *drained* edges (never the last one of a region), so
     /// every live lease keeps a valid server behind it.
     fn retarget_edges(&mut self) {
-        let target = self.target_edges_per_region(self.outbound.total()) as usize;
         for (idx, &region) in Region::ALL.iter().enumerate() {
+            let target = self.target_edges_for_share(self.region_share(region)) as usize;
             while self.region_active[idx].len() < target {
                 let id = ServerId::new(self.edges.len() as u32);
                 self.edges.push(EdgeServer::new(id, region));
@@ -226,18 +321,38 @@ impl Cdn {
         self.config.delta
     }
 
-    /// The outbound pool account.
-    pub fn outbound(&self) -> &CapacityAccount {
-        &self.outbound
+    /// The outbound pool viewed as one aggregate account (total and used
+    /// summed over every slot). Under [`PoolScope::Global`] this *is*
+    /// the pool; under [`PoolScope::PerRegion`] it is a read-only
+    /// summary — admission is decided per region (see
+    /// [`Cdn::can_serve_in`]), so aggregate headroom can overstate what
+    /// any single stream can draw.
+    pub fn outbound(&self) -> CapacityAccount {
+        let total = self.pools.iter().map(|p| p.total()).sum();
+        let used = self.pools.iter().map(|p| p.used()).sum();
+        let mut agg = CapacityAccount::new(total);
+        agg.reserve(used)
+            .expect("per-slot used never exceeds total");
+        agg
     }
 
-    /// Whether a stream of rate `bw` could currently be admitted.
+    /// Whether a stream of rate `bw` could currently be admitted in
+    /// *some* region (the single pool under [`PoolScope::Global`]).
     pub fn can_serve(&self, bw: Bandwidth) -> bool {
-        self.outbound.can_reserve(bw)
+        self.pools.iter().any(|p| p.can_reserve(bw))
+    }
+
+    /// Whether a stream of rate `bw` could currently be admitted for a
+    /// viewer in `region` — the region-scoped admission check.
+    pub fn can_serve_in(&self, bw: Bandwidth, region: Region) -> bool {
+        self.pools[self.slot_of(region)].can_reserve(bw)
     }
 
     /// Admits a stream of rate `bw` towards a viewer in `region`, serving
-    /// it from that region's edge server.
+    /// it from that region's edge server. Under
+    /// [`PoolScope::PerRegion`] the reservation comes from the region's
+    /// own pool; a saturated region rejects even while others have
+    /// headroom.
     ///
     /// # Errors
     ///
@@ -249,7 +364,8 @@ impl Cdn {
         bw: Bandwidth,
         region: Region,
     ) -> Result<CdnLease, CdnRejectedError> {
-        self.outbound.reserve(bw).map_err(|e| CdnRejectedError {
+        let slot = self.slot_of(region);
+        self.pools[slot].reserve(bw).map_err(|e| CdnRejectedError {
             requested: e.requested,
             available: e.available,
         })?;
@@ -263,7 +379,7 @@ impl Cdn {
         self.edges[id.index()].add_session(stream, bw);
         let lease = CdnLease(self.next_lease);
         self.next_lease += 1;
-        self.leases.insert(lease, (stream, bw, id));
+        self.leases.insert(lease, (stream, bw, id, slot));
         Ok(lease)
     }
 
@@ -274,11 +390,11 @@ impl Cdn {
     /// Panics if the lease was already released — double release is an
     /// accounting bug.
     pub fn release(&mut self, lease: CdnLease) {
-        let (stream, bw, server) = self
+        let (stream, bw, server, slot) = self
             .leases
             .remove(&lease)
             .expect("release of unknown or already-released CDN lease");
-        self.outbound.release(bw);
+        self.pools[slot].release(bw);
         // ServerIds are Vec indexes: O(1), no scan over the edge list.
         self.edges[server.index()].remove_session(stream, bw);
     }
@@ -298,29 +414,82 @@ impl Cdn {
         &self.meter
     }
 
-    /// Resizes the outbound pool to `new_total` at virtual time `now`:
-    /// accrues the provisioned-capacity meter for the segment ending
-    /// now, resizes the pool (clamped so live reservations survive), and
-    /// grows or retires per-region edges to match. Returns the capacity
-    /// actually in effect after clamping.
+    /// Resizes the first pool slot to `new_total` at virtual time `now`
+    /// — the whole pool under [`PoolScope::Global`] (pre-region-split
+    /// callers keep their semantics). Region-scoped controllers use
+    /// [`Cdn::apply_scale_slot`]. Returns the capacity actually in
+    /// effect after clamping.
     pub fn apply_scale(&mut self, new_total: Bandwidth, now: SimTime) -> Bandwidth {
-        let clamped = new_total.max(self.outbound.used());
-        self.provisioned.accrue(now, clamped);
-        self.outbound.resize(clamped);
+        self.apply_scale_slot(0, new_total, now)
+    }
+
+    /// Resizes one pool slot to `new_total` at virtual time `now`:
+    /// accrues that slot's provisioned-capacity meter for the segment
+    /// ending now, resizes the slot's account (clamped so live
+    /// reservations survive), and grows or retires per-region edges to
+    /// match. Returns the slot capacity actually in effect after
+    /// clamping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.pool_slots()`.
+    pub fn apply_scale_slot(
+        &mut self,
+        slot: usize,
+        new_total: Bandwidth,
+        now: SimTime,
+    ) -> Bandwidth {
+        let clamped = new_total.max(self.pools[slot].used());
+        self.provisioned[slot].accrue(now, clamped);
+        self.pools[slot].resize(clamped);
         self.retarget_edges();
         clamped
     }
 
-    /// The provisioned-capacity meter (Mbps-hours of pool, priced at the
-    /// committed rate).
+    /// Resizes the pool slot serving `region` (see
+    /// [`Cdn::apply_scale_slot`]).
+    pub fn apply_scale_region(
+        &mut self,
+        region: Region,
+        new_total: Bandwidth,
+        now: SimTime,
+    ) -> Bandwidth {
+        self.apply_scale_slot(self.slot_of(region), new_total, now)
+    }
+
+    /// The provisioned-capacity meter of the first pool slot (the whole
+    /// pool under [`PoolScope::Global`]); per-slot meters are reached
+    /// through [`Cdn::provisioned_meter_of`], the aggregate bill through
+    /// [`Cdn::provisioned_mbps_hours_at`]/[`Cdn::provisioned_dollars_at`].
     pub fn provisioned_meter(&self) -> &ProvisionedMeter {
-        &self.provisioned
+        &self.provisioned[0]
+    }
+
+    /// The provisioned-capacity meter of one pool slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.pool_slots()`.
+    pub fn provisioned_meter_of(&self, slot: usize) -> &ProvisionedMeter {
+        &self.provisioned[slot]
+    }
+
+    /// Provisioned Mbps-hours accrued up to `now`, summed over every
+    /// pool slot.
+    pub fn provisioned_mbps_hours_at(&self, now: SimTime) -> f64 {
+        self.provisioned.iter().map(|m| m.mbps_hours_at(now)).sum()
+    }
+
+    /// Provisioned-capacity dollars accrued up to `now`, summed over
+    /// every pool slot.
+    pub fn provisioned_dollars_at(&self, now: SimTime) -> f64 {
+        self.provisioned.iter().map(|m| m.dollars_at(now)).sum()
     }
 
     /// Total CDN dollars up to `now`: egress bytes plus provisioned
-    /// Mbps-hours.
+    /// Mbps-hours across every pool slot.
     pub fn total_dollars_at(&self, now: SimTime) -> f64 {
-        self.meter.dollars() + self.provisioned.dollars_at(now)
+        self.meter.dollars() + self.provisioned_dollars_at(now)
     }
 
     /// Every edge server ever provisioned, including retired tombstones
@@ -491,6 +660,116 @@ mod tests {
         let mut cdn = Cdn::new(CdnConfig::default());
         cdn.record_egress(5_000_000_000); // 5 GB
         assert!((cdn.meter().dollars() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_capacity_conserves_the_total() {
+        for mbps in [1, 7, 1_000, 6_000, 48_000] {
+            let total = Bandwidth::from_mbps(mbps);
+            for scope in [PoolScope::Global, PoolScope::PerRegion] {
+                let slots = split_capacity(total, scope);
+                let sum: u64 = slots.iter().map(|b| b.as_kbps()).sum();
+                assert_eq!(sum, total.as_kbps(), "{scope:?} split lost capacity");
+            }
+        }
+        let slots = split_capacity(Bandwidth::from_mbps(1_000), PoolScope::PerRegion);
+        assert_eq!(slots.len(), Region::ALL.len());
+        assert_eq!(slots[Region::Europe.index()], Bandwidth::from_mbps(300));
+        assert_eq!(slots[Region::Oceania.index()], Bandwidth::from_mbps(50));
+    }
+
+    #[test]
+    fn per_region_pools_reject_locally_while_others_have_headroom() {
+        let config = CdnConfig::default()
+            .with_outbound(Bandwidth::from_mbps(1_000))
+            .with_pool_scope(PoolScope::PerRegion);
+        let mut cdn = Cdn::new(config);
+        assert_eq!(cdn.pool_slots(), Region::ALL.len());
+        // Oceania holds 5% = 50 Mbps; exhaust it.
+        for i in 0..25u16 {
+            cdn.serve(stream(i % 8), Bandwidth::from_mbps(2), Region::Oceania)
+                .expect("inside the regional share");
+        }
+        assert!(!cdn.can_serve_in(Bandwidth::from_mbps(2), Region::Oceania));
+        let err = cdn
+            .serve(stream(0), Bandwidth::from_mbps(2), Region::Oceania)
+            .unwrap_err();
+        assert_eq!(err.available, Bandwidth::ZERO);
+        // Europe (300 Mbps) is untouched: regional isolation, and the
+        // aggregate view still reports the global headroom.
+        assert!(cdn.can_serve_in(Bandwidth::from_mbps(2), Region::Europe));
+        cdn.serve(stream(0), Bandwidth::from_mbps(2), Region::Europe)
+            .expect("other regions unaffected");
+        assert_eq!(cdn.outbound().used(), Bandwidth::from_mbps(52));
+        assert_eq!(cdn.outbound().total(), Bandwidth::from_mbps(1_000));
+    }
+
+    #[test]
+    fn per_region_release_returns_to_the_owning_pool() {
+        let config = CdnConfig::default()
+            .with_outbound(Bandwidth::from_mbps(1_000))
+            .with_pool_scope(PoolScope::PerRegion);
+        let mut cdn = Cdn::new(config);
+        let lease = cdn
+            .serve(stream(0), Bandwidth::from_mbps(4), Region::Asia)
+            .expect("fits");
+        assert_eq!(
+            cdn.pool(cdn.slot_of(Region::Asia)).used(),
+            Bandwidth::from_mbps(4)
+        );
+        cdn.release(lease);
+        assert!(cdn.pool(cdn.slot_of(Region::Asia)).used().is_zero());
+    }
+
+    #[test]
+    fn apply_scale_slot_is_region_scoped() {
+        let config = CdnConfig::default()
+            .with_outbound(Bandwidth::from_mbps(7_500))
+            .with_pool_scope(PoolScope::PerRegion);
+        let mut cdn = Cdn::new(config);
+        let eu = cdn.slot_of(Region::Europe);
+        let asia = cdn.slot_of(Region::Asia);
+        let asia_before = cdn.pool(asia).total();
+        let eu_edges_before = cdn.active_edges_in(Region::Europe);
+        // Grow Europe alone: 2250 → 6000 Mbps (4 × 1500 Mbps units).
+        let actual = cdn.apply_scale_region(
+            Region::Europe,
+            Bandwidth::from_mbps(6_000),
+            SimTime::from_secs(30),
+        );
+        assert_eq!(actual, Bandwidth::from_mbps(6_000));
+        assert_eq!(cdn.pool(eu).total(), Bandwidth::from_mbps(6_000));
+        assert_eq!(
+            cdn.pool(asia).total(),
+            asia_before,
+            "other region's pool moved"
+        );
+        assert_eq!(cdn.active_edges_in(Region::Europe), 4);
+        assert!(cdn.active_edges_in(Region::Europe) > eu_edges_before);
+        // Only Europe's meter switched rate: one hour later the Asia
+        // meter still bills its original share.
+        let hour = SimTime::from_secs(3_600 + 30);
+        let asia_hours = cdn.provisioned_meter_of(asia).mbps_hours_at(hour);
+        assert!(
+            (asia_hours - asia_before.as_mbps_f64() * (3_600.0 + 30.0) / 3_600.0).abs() < 1e-6,
+            "asia meter drifted: {asia_hours}"
+        );
+        // The aggregate bill sums every slot.
+        let sum: f64 = (0..cdn.pool_slots())
+            .map(|s| cdn.provisioned_meter_of(s).mbps_hours_at(hour))
+            .sum();
+        assert!((cdn.provisioned_mbps_hours_at(hour) - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_scope_keeps_single_slot_semantics() {
+        let cdn = Cdn::new(CdnConfig::default());
+        assert_eq!(cdn.pool_slots(), 1);
+        for &region in &Region::ALL {
+            assert_eq!(cdn.slot_of(region), 0);
+        }
+        assert_eq!(cdn.slot_region(0), None);
+        assert_eq!(cdn.pool(0).total(), cdn.outbound().total());
     }
 
     #[test]

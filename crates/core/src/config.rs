@@ -1,7 +1,7 @@
 //! Session configuration.
 
 use serde::{Deserialize, Serialize};
-use telecast_cdn::{AutoscalePolicy, CdnConfig};
+use telecast_cdn::{AutoscalePolicy, CdnConfig, PredictivePolicy};
 use telecast_media::ProducerSite;
 use telecast_net::BandwidthProfile;
 use telecast_sim::SimDuration;
@@ -115,6 +115,12 @@ pub struct SessionConfig {
     /// policy's utilisation band and retries CDN-rejected joins after
     /// each scale-up.
     pub autoscale: Option<AutoscalePolicy>,
+    /// Predictive extension of the autoscaler: scale on a short-horizon
+    /// demand forecast (churn rate-profile phase × an EWMA of observed
+    /// per-region arrival demand) instead of reacting to utilisation
+    /// alone. Requires `autoscale`; `None` keeps the reactive
+    /// utilisation-band controller.
+    pub predictive: Option<PredictivePolicy>,
     /// Scope of view groups.
     pub group_scope: GroupScope,
     /// Delay substrate (dense matrix vs O(n) coordinates).
@@ -143,6 +149,7 @@ impl Default for SessionConfig {
             adaptation_period: None,
             monitor_period: None,
             autoscale: None,
+            predictive: None,
             group_scope: GroupScope::PerLsc,
             delay_model: DelayModelChoice::Auto,
             seed: 42,
@@ -177,6 +184,14 @@ impl SessionConfig {
         }
         if let Some(policy) = &self.autoscale {
             policy.validate().map_err(|e| format!("autoscale: {e}"))?;
+        }
+        if let Some(predictive) = &self.predictive {
+            if self.autoscale.is_none() {
+                return Err("predictive scaling requires an autoscale policy".into());
+            }
+            predictive
+                .validate()
+                .map_err(|e| format!("predictive: {e}"))?;
         }
         Ok(())
     }
@@ -220,6 +235,12 @@ impl SessionConfig {
     /// Convenience: enable elastic CDN autoscaling under `policy`.
     pub fn with_autoscale(mut self, policy: AutoscalePolicy) -> Self {
         self.autoscale = Some(policy);
+        self
+    }
+
+    /// Convenience: make the autoscaler predictive (forecast-driven).
+    pub fn with_predictive(mut self, predictive: PredictivePolicy) -> Self {
+        self.predictive = Some(predictive);
         self
     }
 }
@@ -275,6 +296,23 @@ mod tests {
             ..SessionConfig::default()
         };
         assert!(c.validate().unwrap_err().contains("autoscale"));
+
+        // Predictive scaling is an extension of the autoscaler, not a
+        // standalone mode.
+        let c = SessionConfig {
+            predictive: Some(PredictivePolicy::default()),
+            ..SessionConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("requires an autoscale"));
+        let c = SessionConfig {
+            autoscale: Some(AutoscalePolicy::default()),
+            predictive: Some(PredictivePolicy {
+                alpha: 2.0,
+                ..PredictivePolicy::default()
+            }),
+            ..SessionConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("predictive"));
     }
 
     #[test]

@@ -33,8 +33,13 @@ pub struct SessionMetrics {
     pub cdn_usage_mbps: TimeSeries,
     /// *Provisioned* CDN outbound capacity over time, in Mbps — a flat
     /// line for the paper's static pool, a staircase tracking demand
-    /// under autoscaling.
+    /// under autoscaling. With per-region pools this is the aggregate
+    /// (the sum over [`SessionMetrics::provisioned_by_slot`]).
     pub provisioned_cdn_mbps: TimeSeries,
+    /// Per-pool-slot provisioned capacity over time, in Mbps — one
+    /// series per regional pool (a single entry mirroring the aggregate
+    /// under the global pool scope). Grown lazily to the slot count.
+    pub provisioned_by_slot: Vec<TimeSeries>,
     /// CDN pool utilisation (used / provisioned) over time, sampled by
     /// the GSC monitor event.
     pub cdn_utilisation: TimeSeries,
@@ -80,6 +85,7 @@ impl SessionMetrics {
             victims_repositioned: Counter::new("victims_repositioned"),
             cdn_usage_mbps: TimeSeries::new(),
             provisioned_cdn_mbps: TimeSeries::new(),
+            provisioned_by_slot: Vec::new(),
             cdn_utilisation: TimeSeries::new(),
             population: TimeSeries::new(),
             resync_cap_hits: Counter::new("resync_cap_hits"),
@@ -137,6 +143,21 @@ impl SessionMetrics {
     /// Records a CDN pool utilisation sample (GSC monitor event).
     pub fn sample_cdn_utilisation(&mut self, at: SimTime, fraction: f64) {
         self.cdn_utilisation.record(at, fraction);
+    }
+
+    /// Records a per-slot provisioned-capacity sample, growing the slot
+    /// list as needed. Step-function semantics like the aggregate:
+    /// consecutive identical values collapse into the first sample.
+    pub fn sample_provisioned_slot(&mut self, slot: usize, at: SimTime, mbps: f64) {
+        if self.provisioned_by_slot.len() <= slot {
+            self.provisioned_by_slot
+                .resize_with(slot + 1, TimeSeries::new);
+        }
+        let series = &mut self.provisioned_by_slot[slot];
+        if series.last() == Some(mbps) {
+            return;
+        }
+        series.record(at, mbps);
     }
 
     /// CDF of join delays (milliseconds).

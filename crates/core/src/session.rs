@@ -180,8 +180,11 @@ impl SessionBuilder {
         }
 
         let monitor = GscMonitor::new(&config.sites, lsc_nodes.clone());
+        let cdn = Cdn::new(config.cdn);
+        let autoscalers = build_autoscalers(&config, &cdn);
+        let pool_slots = cdn.pool_slots();
         TelecastSession {
-            cdn: Cdn::new(config.cdn),
+            cdn,
             monitor,
             catalog,
             scheme,
@@ -205,15 +208,56 @@ impl SessionBuilder {
             monitor_armed: false,
             last_adaptation: None,
             churn: None,
-            autoscaler: config.autoscale.map(Autoscaler::new),
+            autoscalers,
             autoscale_armed: false,
-            retry_queue: VecDeque::new(),
+            retry_queues: vec![VecDeque::new(); pool_slots],
+            arrival_demand_kbps: vec![0; pool_slots],
+            prev_used_kbps: vec![0; pool_slots],
             retry_parked: HashSet::new(),
             retry_counts: HashMap::new(),
             connected_count: 0,
             config,
         }
     }
+}
+
+/// Builds the per-pool-slot autoscale controllers for `config`: none
+/// when autoscaling is off, one controller on the configured policy for
+/// the global pool, or one per regional pool with the policy's
+/// `min`/`max`/`step` split by the same region weights as the pool
+/// itself — each instance owns its cooldown clocks, so one region's
+/// scale action never gates another's.
+fn build_autoscalers(config: &SessionConfig, cdn: &Cdn) -> Vec<Autoscaler> {
+    let Some(policy) = &config.autoscale else {
+        return Vec::new();
+    };
+    let make = |slot_policy: telecast_cdn::AutoscalePolicy| match config.predictive {
+        Some(predictive) => Autoscaler::predictive(slot_policy, predictive),
+        None => Autoscaler::new(slot_policy),
+    };
+    if cdn.pool_slots() == 1 {
+        return vec![make(*policy)];
+    }
+    let scope = config.cdn.pool_scope;
+    let mins = telecast_cdn::split_capacity(policy.min, scope);
+    let maxs = telecast_cdn::split_capacity(policy.max, scope);
+    let steps = telecast_cdn::split_capacity(policy.step, scope);
+    (0..cdn.pool_slots())
+        .map(|slot| {
+            let min = mins[slot];
+            // A 5%-share region of a small step would round to dust;
+            // floor the quantum at a quarter of the slot's own min (the
+            // same heuristic as `AutoscalePolicy::for_pool`), and at
+            // 1 Mbps so a zero-share split still validates.
+            let step_floor = Bandwidth::from_kbps(min.as_kbps() / 4).max(Bandwidth::from_mbps(1));
+            make(telecast_cdn::AutoscalePolicy {
+                min,
+                max: maxs[slot].max(min),
+                step: steps[slot].max(step_floor),
+                ..*policy
+            })
+        })
+        .collect()
 }
 
 fn sample_region(rng: &mut SimRng) -> Region {
@@ -277,12 +321,24 @@ pub struct TelecastSession {
     last_adaptation: Option<(SimTime, u64)>,
     /// The continuous-churn runtime, when started.
     churn: Option<crate::churn::ChurnRuntime>,
-    /// The elastic-CDN controller, when configured.
-    autoscaler: Option<Autoscaler>,
+    /// The elastic-CDN controllers, one per pool slot (empty when
+    /// autoscaling is off). Slot 0 is the whole pool under the global
+    /// scope; under per-region pools each slot is one region's
+    /// controller with its own cooldown clocks.
+    autoscalers: Vec<Autoscaler>,
     autoscale_armed: bool,
     /// CDN-rejected joins parked for retry after the next scale-up, in
-    /// rejection order.
-    retry_queue: VecDeque<(NodeId, ViewId)>,
+    /// rejection order — one queue per pool slot, so a retry only
+    /// competes for headroom in its own region's pool.
+    retry_queues: Vec<VecDeque<(NodeId, ViewId)>>,
+    /// Fresh join demand (Kbps of requested view bandwidth) observed per
+    /// pool slot since the last autoscale tick — the predictive
+    /// controller's inflow-EWMA input.
+    arrival_demand_kbps: Vec<u64>,
+    /// Each pool slot's reserved Kbps at the previous autoscale tick —
+    /// the finite difference behind the predictive controller's
+    /// demand-trend EWMA.
+    prev_used_kbps: Vec<u64>,
     /// Members of the retry queue that are still eligible (a churn dwell
     /// expiry unparks its viewer — the pool owns it again from then on).
     retry_parked: HashSet<NodeId>,
@@ -429,6 +485,22 @@ impl TelecastSession {
         view: ViewId,
         at: SimTime,
     ) -> Result<(), TelecastError> {
+        self.request_join_inner(viewer, view, at, true)
+    }
+
+    /// The join entry point shared by fresh requests and retry drains.
+    /// `fresh` gates the predictive demand observation: a retry re-bids
+    /// demand the inflow EWMA already counted at first attempt, so
+    /// letting it through would count one viewer up to the retry cap
+    /// times — inflating the surge term during ramps and (worse) the
+    /// negative trough term while a parked backlog is still draining.
+    fn request_join_inner(
+        &mut self,
+        viewer: NodeId,
+        view: ViewId,
+        at: SimTime,
+        fresh: bool,
+    ) -> Result<(), TelecastError> {
         self.check_view(view)?;
         let state = self
             .viewers
@@ -438,6 +510,20 @@ impl TelecastSession {
             return Err(TelecastError::AlreadyJoined(viewer));
         }
         let region = state.region;
+        // Fresh-demand observation for the predictive controllers: every
+        // first-attempt join request bids its view's full CDN demand
+        // against its region's pool slot, EWMA-smoothed at the next
+        // autoscale tick.
+        if fresh
+            && self
+                .autoscalers
+                .first()
+                .map(Autoscaler::is_predictive)
+                .unwrap_or(false)
+        {
+            let slot = self.cdn.slot_of(region);
+            self.arrival_demand_kbps[slot] += self.view_demand_kbps(view);
+        }
         // Four protocol legs (Fig. 5) plus LSC processing at each of the
         // three steps: bandwidth allocation, overlay construction, stream
         // subscription.
@@ -479,7 +565,7 @@ impl TelecastSession {
             }
         }
         if !self.autoscale_armed {
-            if let Some(scaler) = &self.autoscaler {
+            if let Some(scaler) = self.autoscalers.first() {
                 self.autoscale_armed = true;
                 let period = scaler.policy().period;
                 self.engine
@@ -503,6 +589,13 @@ impl TelecastSession {
         self.metrics.sample_cdn_usage(now, mbps);
         self.metrics.sample_provisioned(now, provisioned);
         self.metrics.sample_cdn_utilisation(now, utilisation);
+        for slot in 0..self.cdn.pool_slots() {
+            self.metrics.sample_provisioned_slot(
+                slot,
+                now,
+                self.cdn.pool(slot).total().as_mbps_f64(),
+            );
+        }
         if let Some(period) = self.config.monitor_period {
             if self.engine.peek_time().is_some() {
                 self.engine
@@ -513,31 +606,79 @@ impl TelecastSession {
         }
     }
 
-    /// One elastic-CDN control tick: evaluate the autoscale policy
-    /// against the outbound pool at the current instant, apply the
-    /// resulting resize (growing or retiring per-region edges, accruing
-    /// the provisioned-capacity meter), and — after a scale-up — retry
-    /// the joins that were parked when the pool rejected them. Re-arms
-    /// itself while the session stays active, like the monitor.
+    /// One elastic-CDN control tick, per pool slot: evaluate the slot's
+    /// autoscale policy against its pool at the current instant —
+    /// reactively on the utilisation band, or predictively on the
+    /// demand forecast (the churn rate-profile's phase one horizon
+    /// ahead × an EWMA of the slot's observed fresh arrival demand) —
+    /// apply the resulting resize (growing or retiring that region's
+    /// edges, accruing its provisioned-capacity meter), and retry the
+    /// joins parked on the slot's queue. Re-arms itself while the
+    /// session stays active, like the monitor.
     fn autoscale_tick(&mut self) {
         let now = self.engine.now();
-        let Some(scaler) = self.autoscaler.as_mut() else {
+        let Some(first) = self.autoscalers.first() else {
             return;
         };
-        let period = scaler.policy().period;
-        if let Some(decision) = scaler.evaluate(now, self.cdn.outbound()) {
-            let actual = self.cdn.apply_scale(decision.to, now);
-            self.metrics.sample_provisioned(now, actual.as_mbps_f64());
-            match decision.direction {
-                ScaleDirection::Up => self.metrics.autoscale_ups.incr(),
-                ScaleDirection::Down => self.metrics.autoscale_downs.incr(),
+        let period = first.policy().period;
+        let predictive = first.is_predictive();
+        // The forecast ratio is a property of the session-wide arrival
+        // process, shared by every regional controller this tick.
+        // The ratio is measured against the rate of ~2 ticks ago — the
+        // reference the EWMA-smoothed demand observations effectively
+        // reflect — so a burst's onset keeps its elevated forecast until
+        // the observed demand catches up with the rate.
+        let phase_ratio = match first.predictive_policy() {
+            Some(pred) => self
+                .churn
+                .as_ref()
+                .map(|c| {
+                    c.spec
+                        .rate_profile
+                        .forecast_ratio_lagged(now, pred.horizon, period * 2)
+                })
+                .unwrap_or(1.0),
+            None => 1.0,
+        };
+        let period_secs = period.as_secs_f64();
+        let mut scaled = false;
+        for slot in 0..self.autoscalers.len() {
+            let pool = *self.cdn.pool(slot);
+            let scaler = &mut self.autoscalers[slot];
+            let decision = if predictive {
+                let fresh_kbps = std::mem::replace(&mut self.arrival_demand_kbps[slot], 0);
+                let used_kbps = pool.used().as_kbps();
+                let prev_kbps = std::mem::replace(&mut self.prev_used_kbps[slot], used_kbps);
+                let inflow = fresh_kbps as f64 / 1_000.0 / period_secs;
+                let trend = (used_kbps as f64 - prev_kbps as f64) / 1_000.0 / period_secs;
+                scaler.observe_demand(inflow, trend);
+                scaler.evaluate_predictive(now, &pool, phase_ratio)
+            } else {
+                scaler.evaluate(now, &pool)
+            };
+            if let Some(decision) = decision {
+                let actual = self.cdn.apply_scale_slot(slot, decision.to, now);
+                self.metrics
+                    .sample_provisioned_slot(slot, now, actual.as_mbps_f64());
+                scaled = true;
+                match decision.direction {
+                    ScaleDirection::Up => self.metrics.autoscale_ups.incr(),
+                    ScaleDirection::Down => self.metrics.autoscale_downs.incr(),
+                }
             }
         }
-        // Retry parked joins up to the pool's current headroom — after a
+        // One aggregate sample per tick, after every slot has moved —
+        // sampling inside the loop would emit several points with the
+        // same timestamp (one per scaled region).
+        if scaled {
+            self.metrics
+                .sample_provisioned(now, self.cdn.outbound().total().as_mbps_f64());
+        }
+        // Retry parked joins up to each pool's current headroom — after a
         // scale-up that immediately admits the front of the queue, and as
         // a trickle on every later tick while headroom remains (so the
         // tail keeps draining once the pool has caught up with demand).
-        self.drain_retry_queue();
+        self.drain_retry_queues();
         if self.engine.peek_time().is_some() {
             self.engine
                 .schedule_after(period, SessionEvent::AutoscaleTick);
@@ -546,47 +687,50 @@ impl TelecastSession {
         }
     }
 
-    /// Retries parked CDN-rejected joins at the current instant, FIFO,
-    /// budgeted by the pool's current headroom: each retry is charged
-    /// the full CDN demand of its view, and draining stops once the
-    /// headroom is spent (the rest stays parked for the next tick).
-    /// Without the budget a scale-up would re-flood the pool with every
-    /// parked join at once — a thundering herd whose re-rejections dwarf
-    /// the admissions. A parked viewer is skipped when its state moved
-    /// on since the rejection — a churn dwell expiry returned it to the
-    /// pool (unparked), or a scripted re-join already changed its
-    /// status.
-    fn drain_retry_queue(&mut self) {
-        if self.retry_queue.is_empty() {
-            return;
-        }
+    /// Retries parked CDN-rejected joins at the current instant, FIFO
+    /// per pool slot, budgeted by that pool's current headroom: each
+    /// retry is charged the full CDN demand of its view, and draining
+    /// stops once the headroom is spent (the rest stays parked for the
+    /// next tick). Without the budget a scale-up would re-flood the pool
+    /// with every parked join at once — a thundering herd whose
+    /// re-rejections dwarf the admissions. A parked viewer is skipped
+    /// when its state moved on since the rejection — a churn dwell
+    /// expiry returned it to the pool (unparked), or a scripted re-join
+    /// already changed its status.
+    fn drain_retry_queues(&mut self) {
         let now = self.engine.now();
-        let mut budget_kbps = self.cdn.outbound().available().as_kbps();
-        while let Some((viewer, view)) = self.retry_queue.pop_front() {
-            if !self.retry_parked.contains(&viewer) {
-                continue; // unparked since; drop the stale entry
-            }
-            // Status check before the budget check: a no-longer-Rejected
-            // entry costs nothing and must not stall the queue behind it.
-            let rejected = self
-                .viewers
-                .get(&viewer)
-                .map(|v| v.status == ViewerStatus::Rejected)
-                .unwrap_or(false);
-            if !rejected {
-                self.retry_parked.remove(&viewer);
+        for slot in 0..self.retry_queues.len() {
+            if self.retry_queues[slot].is_empty() {
                 continue;
             }
-            let demand = self.view_demand_kbps(view);
-            if budget_kbps < demand {
-                self.retry_queue.push_front((viewer, view));
-                break;
+            let mut budget_kbps = self.cdn.pool(slot).available().as_kbps();
+            while let Some((viewer, view)) = self.retry_queues[slot].pop_front() {
+                if !self.retry_parked.contains(&viewer) {
+                    continue; // unparked since; drop the stale entry
+                }
+                // Status check before the budget check: a no-longer-
+                // Rejected entry costs nothing and must not stall the
+                // queue behind it.
+                let rejected = self
+                    .viewers
+                    .get(&viewer)
+                    .map(|v| v.status == ViewerStatus::Rejected)
+                    .unwrap_or(false);
+                if !rejected {
+                    self.retry_parked.remove(&viewer);
+                    continue;
+                }
+                let demand = self.view_demand_kbps(view);
+                if budget_kbps < demand {
+                    self.retry_queues[slot].push_front((viewer, view));
+                    break;
+                }
+                self.retry_parked.remove(&viewer);
+                budget_kbps -= demand;
+                *self.retry_counts.entry(viewer).or_insert(0) += 1;
+                self.metrics.join_retries.incr();
+                let _ = self.request_join_inner(viewer, view, now, false);
             }
-            self.retry_parked.remove(&viewer);
-            budget_kbps -= demand;
-            *self.retry_counts.entry(viewer).or_insert(0) += 1;
-            self.metrics.join_retries.incr();
-            let _ = self.request_join_at(viewer, view, now);
         }
     }
 
@@ -602,17 +746,19 @@ impl TelecastSession {
     }
 
     /// Parks a CDN-rejected foreground join for retry after the next
-    /// scale-up. No-op without an autoscaler, when already parked, or
-    /// once the viewer exhausted its [`JOIN_RETRY_CAP`].
+    /// scale-up, on the queue of the viewer's region's pool slot. No-op
+    /// without an autoscaler, when already parked, or once the viewer
+    /// exhausted its [`JOIN_RETRY_CAP`].
     fn park_rejected(&mut self, viewer: NodeId, view: ViewId) {
-        if self.autoscaler.is_none() {
+        if self.autoscalers.is_empty() {
             return;
         }
         if self.retry_counts.get(&viewer).copied().unwrap_or(0) >= JOIN_RETRY_CAP {
             return;
         }
         if self.retry_parked.insert(viewer) {
-            self.retry_queue.push_back((viewer, view));
+            let slot = self.cdn.slot_of(self.viewers[&viewer].region);
+            self.retry_queues[slot].push_back((viewer, view));
         }
     }
 
@@ -812,16 +958,24 @@ impl TelecastSession {
         self.churn.as_ref().map(|c| c.available.as_slice())
     }
 
-    /// The elastic-CDN controller, when configured.
+    /// The elastic-CDN controller of the first pool slot, when
+    /// configured (the whole pool under the global scope).
     pub fn autoscaler(&self) -> Option<&Autoscaler> {
-        self.autoscaler.as_ref()
+        self.autoscalers.first()
+    }
+
+    /// The elastic-CDN controllers, one per pool slot (empty when
+    /// autoscaling is off).
+    pub fn autoscalers(&self) -> &[Autoscaler] {
+        &self.autoscalers
     }
 
     /// Number of CDN-rejected joins currently parked for retry after
-    /// the next scale-up.
+    /// the next scale-up, across every pool slot's queue.
     pub fn retry_queue_len(&self) -> usize {
-        self.retry_queue
+        self.retry_queues
             .iter()
+            .flatten()
             .filter(|(v, _)| self.retry_parked.contains(v))
             .count()
     }
@@ -1244,7 +1398,9 @@ impl TelecastSession {
                         .and_then(|g| g.tree(s))
                         .map(|t| t.has_free_slot())
                         .unwrap_or(false);
-                    tree_has || cdn.can_serve(bw)
+                    // Region-scoped supply: under per-region pools the
+                    // joiner can only draw from its own region's share.
+                    tree_has || cdn.can_serve_in(bw, region)
                 }
             });
             plan.accepted

@@ -552,3 +552,79 @@ fn autoscale_retries_parked_joins_after_scale_up() {
     // The staircase was recorded.
     assert!(m.provisioned_cdn_mbps.points().len() >= 2);
 }
+
+/// Per-region pools under a CDN-only kickoff: admission and victim
+/// recovery are region-scoped (one saturated region rejects while
+/// others still serve), a controller per regional pool scales each one
+/// independently, retries drain per region, and the slot accounting
+/// always conserves the aggregate pool.
+#[test]
+fn per_region_pools_scale_and_conserve_regionally() {
+    use telecast_cdn::{AutoscalePolicy, PoolScope};
+    use telecast_net::Region;
+
+    // The step is sized so every region's split quantum covers a
+    // viewer's full 12 Mbps view in one or two actions (Oceania's 5%
+    // share of 400 Mbps is 20 Mbps) — a region whose step is smaller
+    // than one view needs more scale actions than a parked join's
+    // retry budget.
+    let policy = AutoscalePolicy {
+        period: SimDuration::from_secs(5),
+        min: Bandwidth::from_mbps(100),
+        max: Bandwidth::from_mbps(1_000),
+        step: Bandwidth::from_mbps(400),
+        up_cooldown: SimDuration::from_secs(5),
+        down_cooldown: SimDuration::from_secs(600),
+        ..AutoscalePolicy::default()
+    };
+    // Zero P2P upload: every stream is CDN-served, so the tiny
+    // weight-split shares (Oceania starts at 5 Mbps — not even three
+    // 2 Mbps streams) saturate regionally at the kickoff.
+    let config = small_config()
+        .with_outbound(BandwidthProfile::fixed_mbps(0))
+        .with_cdn(
+            CdnConfig::default()
+                .with_outbound(Bandwidth::from_mbps(100))
+                .with_pool_scope(PoolScope::PerRegion),
+        )
+        .with_autoscale(policy);
+    let mut session = TelecastSession::builder(config).viewers(40).build();
+    assert_eq!(session.autoscalers().len(), Region::ALL.len());
+    for v in session.viewer_ids().to_vec() {
+        session.request_join(v, ViewId::new(0)).expect("requested");
+    }
+    session.run_to_idle();
+
+    let m = session.metrics();
+    assert!(
+        m.autoscale_ups.value() > 0,
+        "no regional pool ever scaled up"
+    );
+    // 40 viewers × 12 Mbps within the 1000 Mbps aggregate ceiling:
+    // every region's parked joins eventually land.
+    assert_eq!(m.admitted_viewers.value(), 40);
+    assert_eq!(session.retry_queue_len(), 0, "a regional queue is stuck");
+    // Slot accounting conserves the aggregate in both directions.
+    let cdn = session.cdn();
+    let used_sum: u64 = (0..cdn.pool_slots())
+        .map(|s| cdn.pool(s).used().as_kbps())
+        .sum();
+    let total_sum: u64 = (0..cdn.pool_slots())
+        .map(|s| cdn.pool(s).total().as_kbps())
+        .sum();
+    assert_eq!(used_sum, cdn.outbound().used().as_kbps());
+    assert_eq!(total_sum, cdn.outbound().total().as_kbps());
+    for slot in 0..cdn.pool_slots() {
+        assert!(cdn.pool(slot).used() <= cdn.pool(slot).total());
+    }
+    // Regions scaled *independently*: at least two distinct slot totals
+    // (the 40%-weight region needs more steps than the 5% one).
+    let mut totals: Vec<u64> = (0..cdn.pool_slots())
+        .map(|s| cdn.pool(s).total().as_kbps())
+        .collect();
+    totals.dedup();
+    assert!(
+        totals.len() > 1,
+        "regional pools all moved in lockstep: {totals:?}"
+    );
+}

@@ -81,6 +81,53 @@ pub enum RateProfile {
         /// Number of live windows.
         active: usize,
     },
+    /// Flash spikes *composed onto* a sinusoidal diurnal baseline: the
+    /// multiplier is the diurnal wave's value times the spike windows'
+    /// (a replayed-highlight burst during the evening peak multiplies
+    /// the already-elevated rate). This is the `spike_storm` audience
+    /// model.
+    DiurnalSpikes {
+        /// Length of one full day/night cycle.
+        period: SimDuration,
+        /// Wave amplitude in `[0, 1]`.
+        amplitude: f64,
+        /// Phase offset added to `t` before the sine.
+        phase: SimDuration,
+        /// The spike windows; only the first `active` entries are live.
+        windows: [SpikeWindow; MAX_SPIKE_WINDOWS],
+        /// Number of live windows.
+        active: usize,
+    },
+}
+
+/// The multiplier contributed by spike windows at `t`: the maximum
+/// multiplier among the windows containing `t` (overlapping spikes do
+/// not stack — the tallest wins), 1 outside every window. Zero-width
+/// windows contain no instant, so they contribute nothing.
+fn spike_multiplier(windows: &[SpikeWindow], t: SimTime) -> f64 {
+    windows
+        .iter()
+        .filter(|w| w.contains(t))
+        .map(|w| w.multiplier)
+        .reduce(f64::max)
+        .unwrap_or(1.0)
+}
+
+/// The supremum of [`spike_multiplier`] over all `t` (≥ 1: outside every
+/// window the multiplier is 1).
+fn spike_envelope(windows: &[SpikeWindow]) -> f64 {
+    windows
+        .iter()
+        .filter(|w| !w.duration.is_zero())
+        .map(|w| w.multiplier)
+        .fold(1.0, f64::max)
+}
+
+/// The sinusoidal diurnal multiplier at `t`.
+fn diurnal_multiplier(period: SimDuration, amplitude: f64, phase: SimDuration, t: SimTime) -> f64 {
+    let cycle = (t + phase).as_micros() % period.as_micros().max(1);
+    let angle = cycle as f64 / period.as_micros().max(1) as f64 * std::f64::consts::TAU;
+    (1.0 + amplitude * angle.sin()).max(0.0)
 }
 
 impl RateProfile {
@@ -101,16 +148,32 @@ impl RateProfile {
     ///
     /// Panics if more than [`MAX_SPIKE_WINDOWS`] windows are given.
     pub fn spikes(windows: &[SpikeWindow]) -> Self {
-        assert!(
-            windows.len() <= MAX_SPIKE_WINDOWS,
-            "at most {MAX_SPIKE_WINDOWS} spike windows, got {}",
-            windows.len()
-        );
-        let mut fixed = [SpikeWindow::default(); MAX_SPIKE_WINDOWS];
-        fixed[..windows.len()].copy_from_slice(windows);
+        let (fixed, active) = pack_windows(windows);
         RateProfile::Spikes {
             windows: fixed,
-            active: windows.len(),
+            active,
+        }
+    }
+
+    /// Spike windows composed onto a diurnal baseline that starts at its
+    /// trough — the `spike_storm` audience: replayed-highlight bursts on
+    /// the day/night wave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_SPIKE_WINDOWS`] windows are given.
+    pub fn diurnal_with_spikes(
+        period: SimDuration,
+        amplitude: f64,
+        windows: &[SpikeWindow],
+    ) -> Self {
+        let (fixed, active) = pack_windows(windows);
+        RateProfile::DiurnalSpikes {
+            period,
+            amplitude,
+            phase: period / 2 + period / 4,
+            windows: fixed,
+            active,
         }
     }
 
@@ -119,7 +182,8 @@ impl RateProfile {
         matches!(self, RateProfile::Constant)
     }
 
-    /// The rate multiplier at virtual time `t` (≥ 0).
+    /// The rate multiplier at virtual time `t` (≥ 0). Overlapping spike
+    /// windows do not stack: the largest containing multiplier wins.
     pub fn multiplier_at(&self, t: SimTime) -> f64 {
         match *self {
             RateProfile::Constant => 1.0,
@@ -127,16 +191,18 @@ impl RateProfile {
                 period,
                 amplitude,
                 phase,
+            } => diurnal_multiplier(period, amplitude, phase, t),
+            RateProfile::Spikes { windows, active } => spike_multiplier(&windows[..active], t),
+            RateProfile::DiurnalSpikes {
+                period,
+                amplitude,
+                phase,
+                windows,
+                active,
             } => {
-                let cycle = (t + phase).as_micros() % period.as_micros().max(1);
-                let angle = cycle as f64 / period.as_micros().max(1) as f64 * std::f64::consts::TAU;
-                (1.0 + amplitude * angle.sin()).max(0.0)
+                diurnal_multiplier(period, amplitude, phase, t)
+                    * spike_multiplier(&windows[..active], t)
             }
-            RateProfile::Spikes { windows, active } => windows[..active]
-                .iter()
-                .filter(|w| w.contains(t))
-                .map(|w| w.multiplier)
-                .fold(1.0, |acc, m| if acc == 1.0 { m } else { acc.max(m) }),
         }
     }
 
@@ -146,11 +212,44 @@ impl RateProfile {
         match *self {
             RateProfile::Constant => 1.0,
             RateProfile::Diurnal { amplitude, .. } => 1.0 + amplitude,
-            RateProfile::Spikes { windows, active } => windows[..active]
-                .iter()
-                .map(|w| w.multiplier)
-                .fold(1.0, f64::max),
+            RateProfile::Spikes { windows, active } => spike_envelope(&windows[..active]),
+            RateProfile::DiurnalSpikes {
+                amplitude,
+                windows,
+                active,
+                ..
+            } => (1.0 + amplitude) * spike_envelope(&windows[..active]),
         }
+    }
+
+    /// The demand-forecast ratio: the rate multiplier `horizon` ahead of
+    /// `now`, relative to the multiplier at `now`. Above 1 the audience
+    /// is about to grow (a spike window opening, the diurnal wave
+    /// climbing); below 1 it is about to shrink. The predictive
+    /// autoscaler feeds this straight into its scale decision. Clamped
+    /// against a vanishing present multiplier so a silent trough does
+    /// not produce an infinite ratio.
+    pub fn forecast_ratio(&self, now: SimTime, horizon: SimDuration) -> f64 {
+        self.forecast_ratio_lagged(now, horizon, SimDuration::ZERO)
+    }
+
+    /// [`RateProfile::forecast_ratio`] measured against the multiplier a
+    /// little in the *past* instead of right now. A forecaster whose
+    /// demand observations are EWMA-smoothed effectively sees the rate
+    /// of `lag` ago; comparing the future against that reference keeps
+    /// the ratio elevated through a spike's onset (when the rate has
+    /// already jumped but the smoothed observations — and the demand
+    /// itself — have not caught up yet) instead of collapsing to 1 and
+    /// releasing capacity into the front of the burst.
+    pub fn forecast_ratio_lagged(
+        &self,
+        now: SimTime,
+        horizon: SimDuration,
+        lag: SimDuration,
+    ) -> f64 {
+        let ahead = self.multiplier_at(now + horizon);
+        let here = self.multiplier_at(now - lag).max(1e-3);
+        (ahead / here).min(self.max_multiplier().max(1.0))
     }
 
     /// Validates the profile's parameters.
@@ -163,30 +262,17 @@ impl RateProfile {
             RateProfile::Constant => Ok(()),
             RateProfile::Diurnal {
                 period, amplitude, ..
+            } => validate_diurnal(period, amplitude),
+            RateProfile::Spikes { windows, active } => validate_spikes(&windows, active),
+            RateProfile::DiurnalSpikes {
+                period,
+                amplitude,
+                windows,
+                active,
+                ..
             } => {
-                if period.is_zero() {
-                    return Err("diurnal period must be positive".into());
-                }
-                if !amplitude.is_finite() || !(0.0..=1.0).contains(&amplitude) {
-                    return Err(format!("diurnal amplitude out of [0, 1]: {amplitude}"));
-                }
-                Ok(())
-            }
-            RateProfile::Spikes { windows, active } => {
-                if active > MAX_SPIKE_WINDOWS {
-                    return Err(format!(
-                        "{active} spike windows exceed the {MAX_SPIKE_WINDOWS} cap"
-                    ));
-                }
-                for w in &windows[..active] {
-                    if !w.multiplier.is_finite() || w.multiplier < 0.0 {
-                        return Err(format!("spike multiplier invalid: {}", w.multiplier));
-                    }
-                    if w.duration.is_zero() {
-                        return Err("spike window duration must be positive".into());
-                    }
-                }
-                Ok(())
+                validate_diurnal(period, amplitude)?;
+                validate_spikes(&windows, active)
             }
         }
     }
@@ -224,6 +310,52 @@ impl RateProfile {
             }
         }
     }
+}
+
+/// Copies `windows` into the fixed-size array a profile embeds.
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_SPIKE_WINDOWS`] windows are given.
+fn pack_windows(windows: &[SpikeWindow]) -> ([SpikeWindow; MAX_SPIKE_WINDOWS], usize) {
+    assert!(
+        windows.len() <= MAX_SPIKE_WINDOWS,
+        "at most {MAX_SPIKE_WINDOWS} spike windows, got {}",
+        windows.len()
+    );
+    let mut fixed = [SpikeWindow::default(); MAX_SPIKE_WINDOWS];
+    fixed[..windows.len()].copy_from_slice(windows);
+    (fixed, windows.len())
+}
+
+fn validate_diurnal(period: SimDuration, amplitude: f64) -> Result<(), String> {
+    if period.is_zero() {
+        return Err("diurnal period must be positive".into());
+    }
+    if !amplitude.is_finite() || !(0.0..=1.0).contains(&amplitude) {
+        return Err(format!("diurnal amplitude out of [0, 1]: {amplitude}"));
+    }
+    Ok(())
+}
+
+fn validate_spikes(
+    windows: &[SpikeWindow; MAX_SPIKE_WINDOWS],
+    active: usize,
+) -> Result<(), String> {
+    if active > MAX_SPIKE_WINDOWS {
+        return Err(format!(
+            "{active} spike windows exceed the {MAX_SPIKE_WINDOWS} cap"
+        ));
+    }
+    for w in &windows[..active] {
+        if !w.multiplier.is_finite() || w.multiplier < 0.0 {
+            return Err(format!("spike multiplier invalid: {}", w.multiplier));
+        }
+        if w.duration.is_zero() {
+            return Err("spike window duration must be positive".into());
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -325,6 +457,197 @@ mod tests {
         };
         assert_eq!(draw(3), draw(3));
         assert_ne!(draw(3), draw(4));
+    }
+
+    /// Counts arrivals of `p` inside `[from, to)` over one seeded run.
+    fn arrivals_in(
+        p: &RateProfile,
+        seed: u64,
+        horizon: SimTime,
+        from: SimTime,
+        to: SimTime,
+    ) -> usize {
+        let mean = SimDuration::from_secs_f64(0.25);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut t = SimTime::ZERO;
+        let mut count = 0usize;
+        while let Some(at) = p.sample_next_arrival(mean, t, horizon, &mut rng) {
+            if at >= from && at < to {
+                count += 1;
+            }
+            t = at;
+        }
+        count
+    }
+
+    #[test]
+    fn spike_thinning_matches_the_profile_rate_within_tolerance() {
+        // A 5× spike over [2000, 3000) on a base rate of 4/s: the
+        // empirical arrival rate inside the window must sit near 20/s,
+        // the rate outside near 4/s.
+        let p = RateProfile::spikes(&[SpikeWindow {
+            start: SimTime::from_secs(2_000),
+            duration: SimDuration::from_secs(1_000),
+            multiplier: 5.0,
+        }]);
+        let horizon = SimTime::from_secs(4_000);
+        let inside = arrivals_in(
+            &p,
+            23,
+            horizon,
+            SimTime::from_secs(2_000),
+            SimTime::from_secs(3_000),
+        );
+        let outside = arrivals_in(&p, 23, horizon, SimTime::ZERO, SimTime::from_secs(2_000));
+        let inside_rate = inside as f64 / 1_000.0;
+        let outside_rate = outside as f64 / 2_000.0;
+        assert!(
+            (inside_rate - 20.0).abs() / 20.0 < 0.10,
+            "in-spike rate {inside_rate}/s should be ≈ 20/s"
+        );
+        assert!(
+            (outside_rate - 4.0).abs() / 4.0 < 0.10,
+            "baseline rate {outside_rate}/s should be ≈ 4/s"
+        );
+    }
+
+    #[test]
+    fn spike_sampling_is_seed_deterministic() {
+        let p = RateProfile::spikes(&[
+            SpikeWindow {
+                start: SimTime::from_secs(100),
+                duration: SimDuration::from_secs(60),
+                multiplier: 6.0,
+            },
+            SpikeWindow {
+                start: SimTime::from_secs(400),
+                duration: SimDuration::from_secs(30),
+                multiplier: 0.2,
+            },
+        ]);
+        let draw = |seed: u64| {
+            let mean = SimDuration::from_secs(1);
+            let horizon = SimTime::from_secs(1_000);
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut t = SimTime::ZERO;
+            let mut out = Vec::new();
+            while let Some(at) = p.sample_next_arrival(mean, t, horizon, &mut rng) {
+                out.push(at);
+                t = at;
+            }
+            out
+        };
+        assert_eq!(draw(31), draw(31));
+        assert_ne!(draw(31), draw(32));
+    }
+
+    #[test]
+    fn overlapping_spikes_take_the_tallest_multiplier() {
+        let overlapping = RateProfile::spikes(&[
+            SpikeWindow {
+                start: SimTime::from_secs(100),
+                duration: SimDuration::from_secs(100),
+                multiplier: 3.0,
+            },
+            SpikeWindow {
+                start: SimTime::from_secs(150),
+                duration: SimDuration::from_secs(100),
+                multiplier: 7.0,
+            },
+        ]);
+        assert_eq!(overlapping.multiplier_at(SimTime::from_secs(120)), 3.0);
+        assert_eq!(overlapping.multiplier_at(SimTime::from_secs(180)), 7.0);
+        assert_eq!(overlapping.multiplier_at(SimTime::from_secs(220)), 7.0);
+        assert_eq!(overlapping.max_multiplier(), 7.0);
+        // Order independence: the reversed window list composes the same.
+        let reversed = RateProfile::spikes(&[
+            SpikeWindow {
+                start: SimTime::from_secs(150),
+                duration: SimDuration::from_secs(100),
+                multiplier: 7.0,
+            },
+            SpikeWindow {
+                start: SimTime::from_secs(100),
+                duration: SimDuration::from_secs(100),
+                multiplier: 3.0,
+            },
+        ]);
+        for secs in [90, 120, 180, 220, 260] {
+            let t = SimTime::from_secs(secs);
+            assert_eq!(overlapping.multiplier_at(t), reversed.multiplier_at(t));
+        }
+    }
+
+    #[test]
+    fn zero_width_spikes_contain_no_instant_and_fail_validation() {
+        let w = SpikeWindow {
+            start: SimTime::from_secs(100),
+            duration: SimDuration::ZERO,
+            multiplier: 9.0,
+        };
+        assert!(!w.contains(SimTime::from_secs(100)));
+        let p = RateProfile::spikes(&[w]);
+        // Even unvalidated, a zero-width window never perturbs the rate
+        // or inflates the thinning envelope.
+        assert_eq!(p.multiplier_at(SimTime::from_secs(100)), 1.0);
+        assert_eq!(p.max_multiplier(), 1.0);
+        assert!(p.validate().unwrap_err().contains("duration"));
+    }
+
+    #[test]
+    fn diurnal_spikes_compose_multiplicatively() {
+        let day = SimDuration::from_secs(1_000);
+        // Peak of the trough-started wave is at period/2.
+        let p = RateProfile::diurnal_with_spikes(
+            day,
+            0.5,
+            &[SpikeWindow {
+                start: SimTime::from_secs(400),
+                duration: SimDuration::from_secs(200),
+                multiplier: 4.0,
+            }],
+        );
+        assert!(p.validate().is_ok());
+        // At the wave's peak (t = 500) inside the spike: 1.5 × 4.
+        assert!((p.multiplier_at(SimTime::from_secs(500)) - 6.0).abs() < 1e-9);
+        // At the trough (t = 0), outside the spike: 0.5.
+        assert!((p.multiplier_at(SimTime::ZERO) - 0.5).abs() < 1e-9);
+        // Envelope covers the worst case.
+        assert!((p.max_multiplier() - 6.0).abs() < 1e-12);
+        let bad = RateProfile::DiurnalSpikes {
+            period: SimDuration::ZERO,
+            amplitude: 0.5,
+            phase: SimDuration::ZERO,
+            windows: [SpikeWindow::default(); MAX_SPIKE_WINDOWS],
+            active: 0,
+        };
+        assert!(bad.validate().unwrap_err().contains("period"));
+    }
+
+    #[test]
+    fn forecast_ratio_sees_the_spike_coming() {
+        let p = RateProfile::spikes(&[SpikeWindow {
+            start: SimTime::from_secs(300),
+            duration: SimDuration::from_secs(100),
+            multiplier: 6.0,
+        }]);
+        let horizon = SimDuration::from_secs(60);
+        // One horizon before the spike opens, the ratio jumps to 6.
+        assert!((p.forecast_ratio(SimTime::from_secs(250), horizon) - 6.0).abs() < 1e-9);
+        // Inside the spike looking past its end, the ratio collapses.
+        assert!((p.forecast_ratio(SimTime::from_secs(380), horizon) - 1.0 / 6.0).abs() < 1e-9);
+        // Flat profiles forecast no change, and the ratio is capped by
+        // the envelope even when the present multiplier vanishes.
+        assert_eq!(
+            RateProfile::Constant.forecast_ratio(SimTime::ZERO, horizon),
+            1.0
+        );
+        let blackout = RateProfile::spikes(&[SpikeWindow {
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(50),
+            multiplier: 0.0,
+        }]);
+        assert!(blackout.forecast_ratio(SimTime::from_secs(10), horizon) <= 1.0);
     }
 
     #[test]

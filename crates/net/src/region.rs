@@ -6,8 +6,8 @@ use serde::{Deserialize, Serialize};
 
 /// A coarse geographic region.
 ///
-/// The paper "divide[s] the geographical region into several region-based
-/// clusters and assign[s] a Local Session Controller (LSC) to each cluster".
+/// The paper "divide\[s\] the geographical region into several region-based
+/// clusters and assign\[s\] a Local Session Controller (LSC) to each cluster".
 /// Five continental clusters match the PlanetLab deployment footprint of the
 /// era.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -43,6 +43,20 @@ impl Region {
             Region::Asia => 0.17,
             Region::SouthAmerica => 0.08,
             Region::Oceania => 0.05,
+        }
+    }
+
+    /// [`Region::weight`] as an integer percentage. The five percentages
+    /// sum to exactly 100, so capacity split with integer arithmetic
+    /// (`total × percent / 100` plus a remainder slot) is exact — the
+    /// per-region CDN pools rely on this to conserve the global pool.
+    pub fn weight_percent(self) -> u64 {
+        match self {
+            Region::NorthAmerica => 40,
+            Region::Europe => 30,
+            Region::Asia => 17,
+            Region::SouthAmerica => 8,
+            Region::Oceania => 5,
         }
     }
 

@@ -1,0 +1,164 @@
+//! Cross-crate guarantees of predictive per-region autoscaling: on the
+//! same seed, the forecast-driven controller admits more of a spike
+//! storm (fewer rejected/retried joins) at no more provisioned
+//! Mbps-hours than the reactive utilisation band; the per-region pool
+//! split conserves the global pool; and the single-slot (global-scope)
+//! configuration reproduces the pre-split provisioned series exactly.
+
+use std::sync::OnceLock;
+
+use telecast::{SessionConfig, TelecastSession};
+use telecast_bench::{run_spike, SpikeOutcome, SpikeScenario};
+use telecast_cdn::{split_capacity, AutoscalePolicy, PoolScope};
+use telecast_net::{Bandwidth, Region};
+use telecast_sim::SimTime;
+
+/// The conformance storm: a small spike-storm instance (dense backend,
+/// 400 steady viewers) with the scenario's default burst schedule and a
+/// post-burst trough tail.
+fn storm(predictive: bool) -> SpikeScenario {
+    SpikeScenario {
+        viewers: 400,
+        minutes: 30,
+        churn_per_minute: 0.3,
+        day_minutes: 30,
+        amplitude: 0.5,
+        spike_multiplier: 6.0,
+        backend: telecast::DelayModelChoice::Dense,
+        seed: 61,
+        pool_mbps: Some(1_600),
+        autoscale: true,
+        predictive,
+        per_region: true,
+    }
+}
+
+/// The predictive run several tests assert against, computed once (the
+/// debug-build spike run is the expensive part of this suite).
+fn predictive_outcome() -> &'static SpikeOutcome {
+    static OUTCOME: OnceLock<SpikeOutcome> = OnceLock::new();
+    OUTCOME.get_or_init(|| run_spike(&storm(true)))
+}
+
+/// The tentpole's acceptance bar: on equal seeds, predictive beats
+/// reactive on rejected+retried joins at equal-or-lower provisioned
+/// Mbps-hours.
+#[test]
+fn predictive_beats_reactive_on_the_same_seed() {
+    let reactive = run_spike(&storm(false));
+    let predictive = predictive_outcome();
+
+    let reactive_bad = reactive.rejected_joins + reactive.join_retries;
+    let predictive_bad = predictive.rejected_joins + predictive.join_retries;
+    assert!(
+        predictive_bad < reactive_bad,
+        "predictive {predictive_bad} rejected+retried should beat reactive {reactive_bad}"
+    );
+    assert!(
+        predictive.acceptance_ratio >= reactive.acceptance_ratio,
+        "predictive ρ {:.3} fell below reactive ρ {:.3}",
+        predictive.acceptance_ratio,
+        reactive.acceptance_ratio
+    );
+    assert!(
+        predictive.provisioned_mbps_hours <= reactive.provisioned_mbps_hours,
+        "predictive cost {:.0} Mbps-h exceeds reactive {:.0} Mbps-h",
+        predictive.provisioned_mbps_hours,
+        reactive.provisioned_mbps_hours
+    );
+    // Both controllers actually scaled, and the predictive one also
+    // released capacity (the reactive laggard's blind spot).
+    assert!(reactive.autoscale_ups > 0);
+    assert!(predictive.autoscale_ups > 0);
+    assert!(
+        predictive.autoscale_downs > reactive.autoscale_downs,
+        "the forecast never released capacity ahead of the troughs"
+    );
+    assert_eq!(predictive.retry_queue_len, 0, "parked joins never drained");
+}
+
+/// The spike-storm export is pure in the seed.
+#[test]
+fn spike_storm_json_is_byte_identical_per_seed() {
+    let a = predictive_outcome().figure.to_json();
+    let b = run_spike(&storm(true)).figure.to_json();
+    assert_eq!(a, b, "same-seed spike exports diverged");
+    let c = run_spike(&SpikeScenario {
+        seed: 62,
+        ..storm(true)
+    })
+    .figure
+    .to_json();
+    assert_ne!(a, c, "different seeds produced identical exports");
+}
+
+/// Per-region pools carry one provisioned series per region, and the
+/// series respect the weight split at the start of the run.
+#[test]
+fn per_region_series_start_at_the_weight_split() {
+    let outcome = predictive_outcome();
+    assert_eq!(outcome.provisioned_by_region.len(), Region::ALL.len());
+    let slots = split_capacity(Bandwidth::from_mbps(1_600), PoolScope::PerRegion);
+    for (slot, (label, points)) in outcome.provisioned_by_region.iter().enumerate() {
+        let first = points.first().expect("series sampled").1;
+        assert_eq!(
+            first,
+            slots[slot].as_mbps_f64(),
+            "series {label} does not start at the region's split share"
+        );
+    }
+    // Conservation at t=0: the per-region shares sum to the global pool.
+    let sum: f64 = outcome
+        .provisioned_by_region
+        .iter()
+        .map(|(_, points)| points.first().unwrap().1)
+        .sum();
+    assert_eq!(sum, 1_600.0);
+}
+
+/// In the single-region (global-scope) configuration, the per-slot
+/// provisioned series IS the aggregate series — the pre-split behaviour
+/// reproduced exactly, point for point.
+#[test]
+fn single_slot_series_reproduces_the_global_series() {
+    let policy = AutoscalePolicy::for_pool(Bandwidth::from_mbps(150), Bandwidth::from_mbps(2_400));
+    let config = SessionConfig::default()
+        .with_cdn(
+            telecast_cdn::CdnConfig::default()
+                .with_outbound(Bandwidth::from_mbps(150))
+                .with_pool_scope(PoolScope::Global),
+        )
+        .with_monitor_period(telecast_sim::SimDuration::from_secs(10))
+        .with_autoscale(policy)
+        .with_seed(7);
+    let mut session = TelecastSession::builder(config).viewers(300).build();
+    session.start_churn(
+        telecast_media::ChurnSpec::steady_state(300, 0.3),
+        SimTime::from_secs(600),
+        300,
+    );
+    session.run_until(SimTime::from_secs(600));
+    let m = session.metrics();
+    assert_eq!(m.provisioned_by_slot.len(), 1, "global scope has one slot");
+    assert!(
+        m.autoscale_ups.value() > 0,
+        "the under-provisioned pool never scaled"
+    );
+    // Every aggregate sample appears in the slot series with the same
+    // value (the slot series may carry extra monitor samples between
+    // scale actions, but never a different value for the same instant).
+    let slot = &m.provisioned_by_slot[0];
+    for &(at, value) in m.provisioned_cdn_mbps.points() {
+        let matching = slot
+            .points()
+            .iter()
+            .rev()
+            .find(|&&(slot_at, _)| slot_at <= at)
+            .map(|&(_, v)| v);
+        assert_eq!(
+            matching,
+            Some(value),
+            "slot series diverged from the aggregate at t={at:?}"
+        );
+    }
+}
