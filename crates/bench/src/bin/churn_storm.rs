@@ -25,6 +25,12 @@ use telecast_bench::{run_churn, ChurnScenario, ScenarioArgs};
 
 fn main() {
     let args = ScenarioArgs::from_env();
+    if args.threads.is_some() {
+        eprintln!(
+            "warning: this scenario runs the legacy single-loop engine; \
+             --threads only affects the sharded runtime (see mega_storm)."
+        );
+    }
     if args.predictive || args.per_region {
         eprintln!(
             "warning: churn_storm ignores --predictive/--per-region \

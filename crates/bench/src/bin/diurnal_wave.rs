@@ -28,6 +28,12 @@ use telecast_bench::{run_diurnal, DiurnalScenario, ScenarioArgs};
 
 fn main() {
     let args = ScenarioArgs::from_env();
+    if args.threads.is_some() {
+        eprintln!(
+            "warning: this scenario runs the legacy single-loop engine; \
+             --threads only affects the sharded runtime (see mega_storm)."
+        );
+    }
     if args.predictive || args.per_region {
         eprintln!(
             "warning: diurnal_wave ignores --predictive/--per-region \

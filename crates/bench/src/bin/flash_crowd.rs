@@ -29,6 +29,12 @@ use telecast_sim::SimRng;
 
 fn main() {
     let args = ScenarioArgs::from_env();
+    if args.threads.is_some() {
+        eprintln!(
+            "warning: this scenario runs the legacy single-loop engine; \
+             --threads only affects the sharded runtime (see mega_storm)."
+        );
+    }
     if args.minutes.is_some() || args.churn_pct.is_some() {
         eprintln!(
             "warning: flash_crowd ignores --minutes/--churn-pct \

@@ -26,6 +26,12 @@ use telecast_bench::{run_spike, ScenarioArgs, SpikeScenario};
 
 fn main() {
     let args = ScenarioArgs::from_env();
+    if args.threads.is_some() {
+        eprintln!(
+            "warning: this scenario runs the legacy single-loop engine; \
+             --threads only affects the sharded runtime (see mega_storm)."
+        );
+    }
     let defaults = SpikeScenario::default();
     let minutes = args.minutes.unwrap_or(defaults.minutes);
     let scenario = SpikeScenario {

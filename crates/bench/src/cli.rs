@@ -30,6 +30,10 @@ pub struct ScenarioArgs {
     pub predictive: bool,
     /// `--per-region`: split the CDN pool into per-region pools.
     pub per_region: bool,
+    /// `--threads N`: worker threads for sharded runtimes. Defaults to
+    /// [`telecast_sim::default_parallelism`] when unset; the output is
+    /// thread-count-independent, so this is purely a wall-clock knob.
+    pub threads: Option<usize>,
 }
 
 impl ScenarioArgs {
@@ -95,6 +99,14 @@ impl ScenarioArgs {
                 "--per-region" => {
                     out.per_region = true;
                 }
+                "--threads" => {
+                    let v = next_value(&mut args, "--threads")?;
+                    let n: usize = parse_num(&v, "--threads")?;
+                    if n == 0 {
+                        return Err("--threads must be positive".into());
+                    }
+                    out.threads = Some(n);
+                }
                 other => {
                     // Bare positional integer = viewer count (the original
                     // `flash_crowd <N>` interface). The same positivity
@@ -109,7 +121,7 @@ impl ScenarioArgs {
                                  (expected --viewers N, --minutes M, \
                                  --backend dense|coordinate|auto, --seed S, \
                                  --churn-pct P, --pool-mbps N, --autoscale, \
-                                 --predictive, --per-region)"
+                                 --predictive, --per-region, --threads N)"
                             ))
                         }
                     }
@@ -179,6 +191,8 @@ mod tests {
             "--autoscale",
             "--predictive",
             "--per-region",
+            "--threads",
+            "4",
         ])
         .unwrap();
         assert_eq!(args.viewers, Some(20_000));
@@ -190,6 +204,7 @@ mod tests {
         assert!(args.autoscale);
         assert!(args.predictive);
         assert!(args.per_region);
+        assert_eq!(args.threads, Some(4));
     }
 
     #[test]
@@ -220,6 +235,8 @@ mod tests {
         // asserts; the parser must catch them first.
         assert!(parse(&["--churn-pct", "0"]).is_err());
         assert!(parse(&["--viewers", "0"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod figures;
 pub mod gate;
 pub mod harness;
 pub mod json;
+pub mod mega;
 pub mod spike;
 pub mod table;
 
@@ -25,6 +26,7 @@ pub use diurnal::{run_diurnal, DiurnalOutcome, DiurnalScenario};
 pub use figures::Scale;
 pub use gate::{GateBaseline, MetricCheck, ScenarioBaseline};
 pub use harness::{run_scenario, RunResult, Scenario};
+pub use mega::{run_mega, MegaOutcome, MegaScenario};
 pub use spike::{run_spike, SpikeOutcome, SpikeScenario};
 pub use table::{FigureData, Series};
 

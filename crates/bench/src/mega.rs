@@ -1,0 +1,272 @@
+//! The mega-storm scale scenario: a million viewers on the sharded
+//! per-region runtime.
+//!
+//! Where `churn_storm` drives one global event loop, `mega_storm` splits
+//! the population into five per-region shards
+//! ([`telecast::ShardedSession`]) advancing in lock-step 10-second
+//! epochs on a worker pool, with CDN spill and foreign-lease release
+//! merged deterministically at each barrier. The exported figure is a
+//! function of the seed alone — `--threads` only maps shards onto OS
+//! threads, so two runs with different thread counts write
+//! byte-identical `results/mega_storm.json`.
+
+use telecast::{DelayModelChoice, SessionConfig, ShardStats, ShardedSession};
+use telecast_cdn::CdnConfig;
+use telecast_net::{Bandwidth, BandwidthProfile};
+use telecast_sim::{SimDuration, SimTime};
+
+use crate::churn::autoscale_policy_for;
+use crate::table::{FigureData, Series};
+
+/// Parameters of one mega-storm run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MegaScenario {
+    /// Target steady-state population across all shards (split by the
+    /// region weights; also the prefill size).
+    pub viewers: usize,
+    /// Simulated duration in minutes.
+    pub minutes: u64,
+    /// Fraction of the population leaving (and, in equilibrium,
+    /// arriving) per minute — `0.01` is the canonical 1%/min storm.
+    pub churn_per_minute: f64,
+    /// Delay substrate; coordinate is the only one that fits 1M nodes.
+    pub backend: DelayModelChoice,
+    /// Master seed (each shard forks its own stream from it).
+    pub seed: u64,
+    /// Starting CDN outbound pool in Mbps, split across the regional
+    /// shard pools; `None` keeps the population-scaled provisioning
+    /// (`5 Mbps × viewers`, min 3000).
+    pub pool_mbps: Option<u64>,
+    /// Whether the elastic-CDN autoscaler runs (the policy of
+    /// [`autoscale_policy_for`], split per shard).
+    pub autoscale: bool,
+    /// Worker threads the five shards are mapped onto. Purely a
+    /// wall-clock knob — the output never depends on it.
+    pub threads: usize,
+    /// Barrier period in seconds: shards run this much virtual time
+    /// between cross-shard merges.
+    pub epoch_secs: u64,
+}
+
+impl Default for MegaScenario {
+    fn default() -> Self {
+        MegaScenario {
+            viewers: 1_000_000,
+            minutes: 60,
+            churn_per_minute: 0.01,
+            backend: DelayModelChoice::Coordinate,
+            seed: 0x4D_0607,
+            pool_mbps: None,
+            autoscale: false,
+            threads: telecast_sim::default_parallelism(),
+            epoch_secs: 10,
+        }
+    }
+}
+
+/// Deterministic outcome of a mega run plus the wall-clock shard stats
+/// the binary prints (kept out of the exported figure).
+#[derive(Debug, Clone)]
+pub struct MegaOutcome {
+    /// The exported figure (`results/mega_storm.json`).
+    pub figure: FigureData,
+    /// Connected population at the horizon, across all shards.
+    pub final_population: usize,
+    /// Churn arrivals admitted over the run.
+    pub arrivals: u64,
+    /// Graceful churn departures.
+    pub departures: u64,
+    /// Abrupt churn failures.
+    pub failures: u64,
+    /// Stream acceptance ratio ρ at the horizon.
+    pub acceptance_ratio: f64,
+    /// Cross-shard CDN spill requests emitted.
+    pub spill_requests: u64,
+    /// Spill requests a foreign pool admitted.
+    pub spill_admits: u64,
+    /// Spill requests no foreign pool could take.
+    pub spill_denied: u64,
+    /// Cross-shard messages merged over the run (spills + releases).
+    pub cross_shard_messages: u64,
+    /// Deepest any shard's event heap ever was.
+    pub peak_event_queue: u64,
+    /// Autoscale actions that grew a shard pool.
+    pub autoscale_ups: u64,
+    /// Autoscale actions that shrank a shard pool.
+    pub autoscale_downs: u64,
+    /// Per-shard observability, in region order. `busy_ns` and
+    /// `barrier_wait_ns` are wall-clock — print them, never export them.
+    pub shard_stats: Vec<ShardStats>,
+}
+
+/// Runs the scenario and collapses it into the exported figure. Pure in
+/// the seed: equal scenarios produce equal figures (byte-identical
+/// JSON) regardless of host, `threads`, or repetition.
+pub fn run_mega(scenario: &MegaScenario) -> MegaOutcome {
+    let pool = Bandwidth::from_mbps(
+        scenario
+            .pool_mbps
+            .unwrap_or((scenario.viewers as u64 * 5).max(3_000)),
+    );
+    let mut config = SessionConfig::default()
+        .with_outbound(BandwidthProfile::uniform_mbps(2, 14))
+        .with_cdn(CdnConfig::default().with_outbound(pool))
+        .with_delay_model(scenario.backend)
+        .with_monitor_period(SimDuration::from_secs(10))
+        .with_seed(scenario.seed);
+    if scenario.autoscale {
+        config = config.with_autoscale(autoscale_policy_for(pool, scenario.viewers));
+    }
+
+    let mut session = ShardedSession::new(
+        config,
+        scenario.viewers,
+        scenario.threads,
+        SimDuration::from_secs(scenario.epoch_secs),
+    );
+    let horizon = SimTime::from_secs(scenario.minutes * 60);
+    session.start_churn(scenario.churn_per_minute, horizon);
+    session.run_until(horizon);
+
+    let m = session.merged_metrics();
+    let stats = session.stats().to_vec();
+    let cross_shard: u64 = stats.iter().map(|s| s.cross_shard_messages).sum();
+    let x = scenario.viewers as f64;
+    let population_series: Vec<(f64, f64)> = m
+        .population
+        .points()
+        .iter()
+        .map(|&(at, v)| (at.as_secs_f64(), v))
+        .collect();
+    let by_shard = |f: fn(&ShardStats) -> f64| -> Vec<(f64, f64)> {
+        stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as f64, f(s)))
+            .collect()
+    };
+    let figure = FigureData {
+        id: "mega_storm".into(),
+        title: format!(
+            "Mega storm: {} viewers over 5 shards, {:.1}%/min churn, {} simulated minutes ({:?} backend)",
+            scenario.viewers,
+            scenario.churn_per_minute * 100.0,
+            scenario.minutes,
+            scenario.backend,
+        ),
+        x_label: "viewers (scalars) / seconds (population) / shard (per-shard)".into(),
+        y_label: "per-metric value".into(),
+        series: vec![
+            Series::new("population_over_time", population_series),
+            Series::new("acceptance_ratio", vec![(x, m.acceptance_ratio())]),
+            Series::new(
+                "final_population",
+                vec![(x, session.connected_viewers() as f64)],
+            ),
+            Series::new("churn_arrivals", vec![(x, m.churn_arrivals.value() as f64)]),
+            Series::new(
+                "churn_departures",
+                vec![(x, m.churn_departures.value() as f64)],
+            ),
+            Series::new("churn_failures", vec![(x, m.churn_failures.value() as f64)]),
+            Series::new("peak_cdn_mbps", vec![(x, m.peak_cdn_mbps())]),
+            Series::new(
+                "peak_provisioned_mbps",
+                vec![(x, m.provisioned_cdn_mbps.peak())],
+            ),
+            Series::new("autoscale_ups", vec![(x, m.autoscale_ups.value() as f64)]),
+            Series::new(
+                "autoscale_downs",
+                vec![(x, m.autoscale_downs.value() as f64)],
+            ),
+            Series::new("join_retries", vec![(x, m.join_retries.value() as f64)]),
+            Series::new(
+                "spill_requests",
+                vec![(x, m.spill_requests.value() as f64)],
+            ),
+            Series::new("spill_admits", vec![(x, m.spill_admits.value() as f64)]),
+            Series::new("spill_releases", vec![(x, m.spill_releases.value() as f64)]),
+            Series::new("spill_denied", vec![(x, session.spill_denied() as f64)]),
+            Series::new("cross_shard_messages", vec![(x, cross_shard as f64)]),
+            Series::new(
+                "peak_event_queue",
+                vec![(x, m.peak_event_queue as f64)],
+            ),
+            Series::new(
+                "peak_retry_queue",
+                vec![(x, m.peak_retry_queue as f64)],
+            ),
+            Series::new("viewers_by_shard", by_shard(|s| s.viewers as f64)),
+            Series::new(
+                "events_processed_by_shard",
+                by_shard(|s| s.events_processed as f64),
+            ),
+            Series::new(
+                "cross_shard_messages_by_shard",
+                by_shard(|s| s.cross_shard_messages as f64),
+            ),
+            Series::new(
+                "peak_event_queue_by_shard",
+                by_shard(|s| s.peak_event_queue as f64),
+            ),
+        ],
+    };
+    MegaOutcome {
+        final_population: session.connected_viewers(),
+        arrivals: m.churn_arrivals.value(),
+        departures: m.churn_departures.value(),
+        failures: m.churn_failures.value(),
+        acceptance_ratio: m.acceptance_ratio(),
+        spill_requests: m.spill_requests.value(),
+        spill_admits: m.spill_admits.value(),
+        spill_denied: session.spill_denied(),
+        cross_shard_messages: cross_shard,
+        peak_event_queue: m.peak_event_queue,
+        autoscale_ups: m.autoscale_ups.value(),
+        autoscale_downs: m.autoscale_downs.value(),
+        shard_stats: stats,
+        figure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(threads: usize) -> MegaScenario {
+        MegaScenario {
+            viewers: 600,
+            minutes: 2,
+            churn_per_minute: 0.1,
+            backend: DelayModelChoice::Dense,
+            seed: 11,
+            threads,
+            epoch_secs: 5,
+            ..MegaScenario::default()
+        }
+    }
+
+    #[test]
+    fn small_mega_storm_sustains_a_population() {
+        let outcome = run_mega(&small(2));
+        assert!(outcome.final_population > 0, "audience collapsed");
+        assert!(outcome.arrivals >= 600, "prefill missing");
+        assert!(
+            outcome.departures + outcome.failures > 0,
+            "nobody churned in 2 minutes at 10%/min"
+        );
+        assert_eq!(outcome.shard_stats.len(), 5);
+    }
+
+    #[test]
+    fn figure_is_thread_count_independent() {
+        let one = run_mega(&small(1));
+        for threads in [2, 8] {
+            let many = run_mega(&small(threads));
+            assert_eq!(
+                one.figure, many.figure,
+                "figure diverged at {threads} threads"
+            );
+        }
+    }
+}

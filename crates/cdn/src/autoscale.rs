@@ -23,6 +23,8 @@ use serde::{Deserialize, Serialize};
 use telecast_net::{Bandwidth, CapacityAccount};
 use telecast_sim::{SimDuration, SimTime};
 
+use crate::{split_capacity, PoolScope};
+
 /// Direction of one scaling action.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ScaleDirection {
@@ -105,6 +107,38 @@ impl AutoscalePolicy {
             step,
             ..AutoscalePolicy::default()
         }
+    }
+
+    /// Splits this policy into per-slot policies under `scope`: the
+    /// policy itself for [`PoolScope::Global`], or one per region with
+    /// `min`/`max`/`step` divided by the same region weights as the pool
+    /// capacity (see [`crate::split_capacity`]). A 5%-share region of a
+    /// small step would round to dust, so each slot's quantum is floored
+    /// at a quarter of that slot's own `min` (the
+    /// [`AutoscalePolicy::for_pool`] heuristic) and at 1 Mbps so a
+    /// zero-share split still validates. Watermarks, period and
+    /// cooldowns are inherited unchanged — each slot's controller owns
+    /// its own clocks.
+    pub fn split(&self, scope: PoolScope) -> Vec<AutoscalePolicy> {
+        if matches!(scope, PoolScope::Global) {
+            return vec![*self];
+        }
+        let mins = split_capacity(self.min, scope);
+        let maxs = split_capacity(self.max, scope);
+        let steps = split_capacity(self.step, scope);
+        mins.iter()
+            .enumerate()
+            .map(|(slot, &min)| {
+                let step_floor =
+                    Bandwidth::from_kbps(min.as_kbps() / 4).max(Bandwidth::from_mbps(1));
+                AutoscalePolicy {
+                    min,
+                    max: maxs[slot].max(min),
+                    step: steps[slot].max(step_floor),
+                    ..*self
+                }
+            })
+            .collect()
     }
 
     /// Validates the policy's parameters.
@@ -732,5 +766,51 @@ mod tests {
         let mut p = policy();
         p.period = SimDuration::ZERO;
         assert!(p.validate().unwrap_err().contains("period"));
+    }
+
+    #[test]
+    fn split_global_is_identity() {
+        let p = AutoscalePolicy::default();
+        assert_eq!(p.split(PoolScope::Global), vec![p]);
+    }
+
+    #[test]
+    fn split_per_region_mirrors_capacity_split() {
+        let p = AutoscalePolicy {
+            min: Bandwidth::from_mbps(10_000),
+            max: Bandwidth::from_mbps(80_000),
+            step: Bandwidth::from_mbps(2_000),
+            ..AutoscalePolicy::default()
+        };
+        let slots = p.split(PoolScope::PerRegion);
+        let mins = split_capacity(p.min, PoolScope::PerRegion);
+        assert_eq!(slots.len(), mins.len());
+        for (slot, policy) in slots.iter().enumerate() {
+            assert_eq!(policy.min, mins[slot]);
+            assert!(policy.max >= policy.min);
+            assert!(policy.validate().is_ok(), "slot {slot} invalid");
+            // Inherited knobs are untouched.
+            assert_eq!(policy.period, p.period);
+            assert_eq!(policy.high_watermark, p.high_watermark);
+        }
+        // The shares sum back to the whole.
+        let total: u64 = slots.iter().map(|s| s.min.as_kbps()).sum();
+        assert_eq!(total, p.min.as_kbps());
+    }
+
+    #[test]
+    fn split_floors_dust_steps() {
+        // A tiny step would round a 5%-share region's quantum to dust;
+        // the floor keeps every slot's policy valid and useful.
+        let p = AutoscalePolicy {
+            min: Bandwidth::from_mbps(100),
+            max: Bandwidth::from_mbps(1_000),
+            step: Bandwidth::from_mbps(4),
+            ..AutoscalePolicy::default()
+        };
+        for slot in p.split(PoolScope::PerRegion) {
+            assert!(slot.step >= Bandwidth::from_mbps(1));
+            assert!(slot.validate().is_ok());
+        }
     }
 }

@@ -53,6 +53,7 @@ mod metrics;
 mod monitor;
 mod protocol;
 mod session;
+mod shard;
 mod viewer;
 
 pub use buffer::ViewerBuffer;
@@ -64,4 +65,5 @@ pub use metrics::SessionMetrics;
 pub use monitor::{GscMonitor, StreamMeta};
 pub use protocol::{ControlMessage, ProtocolLog, ProtocolPhase};
 pub use session::{SessionBuilder, TelecastSession};
+pub use shard::{ShardStats, ShardedSession};
 pub use viewer::{StreamSub, ViewerState, ViewerStatus};

@@ -60,6 +60,20 @@ pub struct SessionMetrics {
     pub autoscale_downs: Counter,
     /// Parked CDN-rejected joins retried after a scale-up.
     pub join_retries: Counter,
+    /// Cross-shard CDN spill requests emitted (sharded runtime only):
+    /// foreground joins the local regional pool could not serve, offered
+    /// to a foreign shard's pool at the next epoch barrier.
+    pub spill_requests: Counter,
+    /// Spill requests a donor shard's pool admitted.
+    pub spill_admits: Counter,
+    /// Foreign-lease batches returned to their donor shard when a
+    /// spill-served viewer departed.
+    pub spill_releases: Counter,
+    /// Deepest the event heap has ever been — the queue-pressure figure
+    /// a capacity plan needs.
+    pub peak_event_queue: u64,
+    /// Most CDN-rejected joins ever parked for retry at once.
+    pub peak_retry_queue: u64,
 }
 
 impl Default for SessionMetrics {
@@ -95,6 +109,11 @@ impl SessionMetrics {
             autoscale_ups: Counter::new("autoscale_ups"),
             autoscale_downs: Counter::new("autoscale_downs"),
             join_retries: Counter::new("join_retries"),
+            spill_requests: Counter::new("spill_requests"),
+            spill_admits: Counter::new("spill_admits"),
+            spill_releases: Counter::new("spill_releases"),
+            peak_event_queue: 0,
+            peak_retry_queue: 0,
         }
     }
 

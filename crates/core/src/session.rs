@@ -100,6 +100,7 @@ enum SessionEvent {
 pub struct SessionBuilder {
     config: SessionConfig,
     viewer_count: usize,
+    home_region: Option<Region>,
 }
 
 impl SessionBuilder {
@@ -107,6 +108,17 @@ impl SessionBuilder {
     /// driven by the workload).
     pub fn viewers(mut self, count: usize) -> Self {
         self.viewer_count = count;
+        self
+    }
+
+    /// Provisions `count` viewer gateways **all in `region`** instead of
+    /// sampling regions from the population weights — the shard builder:
+    /// a per-region shard owns exactly its region's viewers, and the
+    /// coordinator splits the global population by the same weights the
+    /// sampler would have used.
+    pub fn viewers_in(mut self, count: usize, region: Region) -> Self {
+        self.viewer_count = count;
+        self.home_region = Some(region);
         self
     }
 
@@ -145,7 +157,10 @@ impl SessionBuilder {
         let mut viewer_pool = Vec::with_capacity(self.viewer_count);
         let mut viewers = BTreeMap::new();
         for _ in 0..self.viewer_count {
-            let region = sample_region(&mut topology_rng);
+            let region = match self.home_region {
+                Some(region) => region,
+                None => sample_region(&mut topology_rng),
+            };
             let node = registry.add(NodeKind::Viewer, region);
             let ports = NodePorts::new(
                 config.viewer_inbound.sample(&mut topology_rng),
@@ -183,6 +198,12 @@ impl SessionBuilder {
         let cdn = Cdn::new(config.cdn);
         let autoscalers = build_autoscalers(&config, &cdn);
         let pool_slots = cdn.pool_slots();
+        // Pre-size the hot-path queues to the population: a churning
+        // session keeps roughly one dwell timer per connected viewer in
+        // the heap, so without the headroom a million-viewer prefill
+        // reallocates (and copies) the heap a dozen times mid-run.
+        let event_capacity = self.viewer_count + self.viewer_count / 4 + 64;
+        let retry_capacity = (self.viewer_count / pool_slots.max(1) / 8).max(16);
         TelecastSession {
             cdn,
             monitor,
@@ -190,7 +211,7 @@ impl SessionBuilder {
             scheme,
             registry,
             delays,
-            engine: Engine::new(),
+            engine: Engine::with_capacity(event_capacity),
             gsc_node,
             lsc_nodes,
             edge_nodes,
@@ -210,12 +231,15 @@ impl SessionBuilder {
             churn: None,
             autoscalers,
             autoscale_armed: false,
-            retry_queues: vec![VecDeque::new(); pool_slots],
+            retry_queues: (0..pool_slots)
+                .map(|_| VecDeque::with_capacity(retry_capacity))
+                .collect(),
             arrival_demand_kbps: vec![0; pool_slots],
             prev_used_kbps: vec![0; pool_slots],
             retry_parked: HashSet::new(),
             retry_counts: HashMap::new(),
             connected_count: 0,
+            shard: None,
             config,
         }
     }
@@ -238,25 +262,10 @@ fn build_autoscalers(config: &SessionConfig, cdn: &Cdn) -> Vec<Autoscaler> {
     if cdn.pool_slots() == 1 {
         return vec![make(*policy)];
     }
-    let scope = config.cdn.pool_scope;
-    let mins = telecast_cdn::split_capacity(policy.min, scope);
-    let maxs = telecast_cdn::split_capacity(policy.max, scope);
-    let steps = telecast_cdn::split_capacity(policy.step, scope);
-    (0..cdn.pool_slots())
-        .map(|slot| {
-            let min = mins[slot];
-            // A 5%-share region of a small step would round to dust;
-            // floor the quantum at a quarter of the slot's own min (the
-            // same heuristic as `AutoscalePolicy::for_pool`), and at
-            // 1 Mbps so a zero-share split still validates.
-            let step_floor = Bandwidth::from_kbps(min.as_kbps() / 4).max(Bandwidth::from_mbps(1));
-            make(telecast_cdn::AutoscalePolicy {
-                min,
-                max: maxs[slot].max(min),
-                step: steps[slot].max(step_floor),
-                ..*policy
-            })
-        })
+    policy
+        .split(config.cdn.pool_scope)
+        .into_iter()
+        .map(make)
         .collect()
 }
 
@@ -348,6 +357,10 @@ pub struct TelecastSession {
     /// Maintained count of viewers in [`ViewerStatus::Connected`] — the
     /// population the monitor samples without scanning the pool.
     connected_count: usize,
+    /// Sharded-mode context, installed when this session is one shard of
+    /// a [`crate::ShardedSession`]. `None` on the legacy single-loop
+    /// path, which stays behaviourally untouched.
+    shard: Option<crate::shard::ShardState>,
     monitor: GscMonitor,
 }
 
@@ -357,6 +370,7 @@ impl TelecastSession {
         SessionBuilder {
             config,
             viewer_count: 0,
+            home_region: None,
         }
     }
 
@@ -759,6 +773,10 @@ impl TelecastSession {
         if self.retry_parked.insert(viewer) {
             let slot = self.cdn.slot_of(self.viewers[&viewer].region);
             self.retry_queues[slot].push_back((viewer, view));
+            self.metrics.peak_retry_queue = self
+                .metrics
+                .peak_retry_queue
+                .max(self.retry_parked.len() as u64);
         }
     }
 
@@ -1094,6 +1112,7 @@ impl TelecastSession {
         while let Some(fired) = self.engine.pop() {
             self.dispatch(fired.payload);
         }
+        self.sync_queue_peaks();
     }
 
     /// Runs the protocol engine up to (and including) `deadline`.
@@ -1101,6 +1120,16 @@ impl TelecastSession {
         while let Some(fired) = self.engine.pop_until(deadline) {
             self.dispatch(fired.payload);
         }
+        self.sync_queue_peaks();
+    }
+
+    /// Folds the engine's high-water mark into the metrics (the retry
+    /// peak is tracked at park time).
+    fn sync_queue_peaks(&mut self) {
+        self.metrics.peak_event_queue = self
+            .metrics
+            .peak_event_queue
+            .max(self.engine.peak_pending() as u64);
     }
 
     /// Applies a scripted workload, mapping workload-local viewer indexes
@@ -1757,6 +1786,9 @@ impl TelecastSession {
         for (_, lease) in leases {
             self.cdn.release(lease);
         }
+        if !background {
+            self.shard_maybe_spill(viewer, view);
+        }
         if background {
             let delta = self.scheme.delta();
             let temp: Vec<(StreamId, telecast_cdn::CdnLease)> = {
@@ -2077,8 +2109,24 @@ impl TelecastSession {
     }
 
     /// Releases every subscription of `viewer`: tree membership (victims
-    /// recovered), CDN leases, port reservations, routing entries.
+    /// recovered), CDN leases, port reservations, routing entries. In
+    /// sharded mode a foreign serve cannot be released here — the leases
+    /// live in the donor shard's pool — so they travel back via the
+    /// outbox instead.
     fn teardown_subscriptions(&mut self, viewer: NodeId) {
+        let at = self.engine.now();
+        if let Some(state) = &mut self.shard {
+            if let Some(foreign) = state.foreign.remove(&viewer) {
+                state.outbox.push(
+                    at,
+                    crate::shard::ShardMessage::ReleaseForeign {
+                        donor: foreign.donor,
+                        leases: foreign.leases,
+                    },
+                );
+                self.metrics.spill_releases.incr();
+            }
+        }
         let (region, subs): (Region, Vec<(StreamId, StreamSub)>) = {
             let v = self.viewers.get_mut(&viewer).expect("viewer exists");
             let subs = std::mem::take(&mut v.subs).into_iter().collect();
@@ -2677,6 +2725,163 @@ impl TelecastSession {
         };
         self.scheme
             .subscription_frame(latest, fps, sub.layer, dprop, processing)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sharded-runtime hooks (see crate::shard): the owner/donor halves of the
+// cross-shard spill protocol, plus the outbox plumbing the coordinator
+// drains at each epoch barrier. All of these run either inside this
+// shard's own event loop or sequentially in the coordinator's merge
+// phase — never concurrently.
+// ----------------------------------------------------------------------
+impl TelecastSession {
+    /// Marks this session as shard `id` owning `region`'s viewers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sharding was already enabled.
+    pub(crate) fn enable_sharding(&mut self, id: usize, region: Region) {
+        assert!(self.shard.is_none(), "sharding already enabled");
+        self.shard = Some(crate::shard::ShardState::new(id, region));
+    }
+
+    /// Events this session's engine has fired.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.events_fired()
+    }
+
+    /// Drains the cross-shard outbox (empty on the legacy path).
+    pub(crate) fn shard_take_outbox(
+        &mut self,
+    ) -> Vec<telecast_sim::OutboxEntry<crate::shard::ShardMessage>> {
+        match &mut self.shard {
+            Some(state) => state.outbox.take(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Headroom of this shard's CDN pool, in Kbps — the figure the
+    /// coordinator ranks donors by.
+    pub(crate) fn shard_headroom_kbps(&self) -> u64 {
+        (0..self.cdn.pool_slots())
+            .map(|slot| self.cdn.pool(slot).available().as_kbps())
+            .sum()
+    }
+
+    /// Emits a spill request for a capacity-rejected foreground join:
+    /// the viewer just moved to [`ViewerStatus::Rejected`] and the local
+    /// pool cannot cover the view, so offer it to a foreign pool at the
+    /// next barrier. No-op on the legacy path, when the rejection was
+    /// not a capacity one (a foreign pool cannot fix inbound
+    /// allocation), or while an earlier request is still in flight.
+    fn shard_maybe_spill(&mut self, viewer: NodeId, view: ViewId) {
+        if self.shard.is_none() {
+            return;
+        }
+        let demand = self.view_demand_kbps(view);
+        let slot = self.cdn.slot_of(self.viewers[&viewer].region);
+        if self.cdn.pool(slot).available().as_kbps() >= demand {
+            return;
+        }
+        let at = self.engine.now();
+        let state = self.shard.as_mut().expect("checked above");
+        if !state.spill_pending.insert(viewer) {
+            return;
+        }
+        state.outbox.push(
+            at,
+            crate::shard::ShardMessage::SpillRequest {
+                viewer,
+                view,
+                demand_kbps: demand,
+            },
+        );
+        self.metrics.spill_requests.incr();
+    }
+
+    /// Donor half of a spill: serve every stream of `view` from this
+    /// shard's pool, all-or-nothing. Returns the leases (in the view's
+    /// stream order) or `None` with nothing reserved.
+    pub(crate) fn shard_grant_view(&mut self, view: ViewId) -> Option<Vec<telecast_cdn::CdnLease>> {
+        let region = self.shard.as_ref().map(|s| s.region)?;
+        let streams: Vec<StreamId> = self.catalog.view(view).streams().collect();
+        let mut leases = Vec::with_capacity(streams.len());
+        for stream in streams {
+            let bw = self.stream_bw[&stream];
+            match self.cdn.serve(stream, bw, region) {
+                Ok(lease) => leases.push(lease),
+                Err(_) => {
+                    for lease in leases {
+                        self.cdn.release(lease);
+                    }
+                    return None;
+                }
+            }
+        }
+        Some(leases)
+    }
+
+    /// Owner half of a spill: connect `viewer` on leases held in
+    /// `donor`'s pool. The viewer keeps no local subscriptions and no
+    /// inbound reservation — the serve is fully foreign, and the leases
+    /// ride back to the donor on departure. Returns the leases untouched
+    /// if the viewer moved on since the request (dwell expiry, re-join).
+    pub(crate) fn shard_apply_spill_grant(
+        &mut self,
+        viewer: NodeId,
+        view: ViewId,
+        donor: usize,
+        leases: Vec<telecast_cdn::CdnLease>,
+    ) -> Result<(), Vec<telecast_cdn::CdnLease>> {
+        let pending = self
+            .shard
+            .as_mut()
+            .map(|s| s.spill_pending.remove(&viewer))
+            .unwrap_or(false);
+        let rejected = self
+            .viewers
+            .get(&viewer)
+            .map(|v| v.status == ViewerStatus::Rejected)
+            .unwrap_or(false);
+        if !pending || !rejected {
+            return Err(leases);
+        }
+        {
+            let v = self.viewers.get_mut(&viewer).expect("viewer exists");
+            debug_assert!(v.subs.is_empty(), "rejected viewer kept subscriptions");
+            debug_assert!(
+                v.ports.inbound.used().is_zero(),
+                "rejected viewer kept inbound reservations"
+            );
+            v.status = ViewerStatus::Connected;
+            v.view = Some(view);
+        }
+        self.connected_count += 1;
+        self.retry_parked.remove(&viewer);
+        self.metrics.spill_admits.incr();
+        self.shard
+            .as_mut()
+            .expect("pending implies sharded")
+            .foreign
+            .insert(viewer, crate::shard::ForeignServe { donor, leases });
+        Ok(())
+    }
+
+    /// Clears a viewer's in-flight spill marker after the coordinator
+    /// found no donor — the next capacity rejection may try again.
+    pub(crate) fn shard_spill_denied(&mut self, viewer: NodeId) {
+        if let Some(state) = &mut self.shard {
+            state.spill_pending.remove(&viewer);
+        }
+    }
+
+    /// Releases donor-pool leases handed back by the coordinator (a
+    /// departed spill-served viewer, or a grant the owner refused).
+    pub(crate) fn shard_release_leases(&mut self, leases: Vec<telecast_cdn::CdnLease>) {
+        for lease in leases {
+            self.cdn.release(lease);
+        }
     }
 }
 

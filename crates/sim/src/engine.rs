@@ -83,6 +83,7 @@ pub struct Engine<E> {
     cancelled: HashSet<EventId>,
     next_seq: u64,
     popped: u64,
+    peak_pending: usize,
 }
 
 impl<E> Default for Engine<E> {
@@ -94,12 +95,23 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// Creates an empty engine with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty engine whose event heap is pre-sized for
+    /// `capacity` pending events.
+    ///
+    /// Million-viewer sessions keep roughly one live timer per connected
+    /// viewer in the heap; pre-sizing avoids the doubling reallocations
+    /// (and their O(n) copies) on the scheduling hot path.
+    pub fn with_capacity(capacity: usize) -> Self {
         Engine {
             now: SimTime::ZERO,
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             cancelled: HashSet::new(),
             next_seq: 0,
             popped: 0,
+            peak_pending: 0,
         }
     }
 
@@ -117,6 +129,12 @@ impl<E> Engine<E> {
     /// ones; the count is an upper bound).
     pub fn pending(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Deepest the event heap has ever been — the queue-pressure figure a
+    /// capacity plan needs (includes not-yet-reaped cancelled entries).
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
     }
 
     /// Whether no live events remain.
@@ -140,6 +158,7 @@ impl<E> Engine<E> {
             payload,
         });
         self.next_seq += 1;
+        self.peak_pending = self.peak_pending.max(self.heap.len());
         id
     }
 

@@ -28,11 +28,15 @@
 mod engine;
 mod parallel;
 mod rng;
+mod shard;
 mod stats;
 mod time;
 
 pub use engine::{Engine, EventId, Fired};
 pub use parallel::{default_parallelism, parallel_map, parallel_map_with};
 pub use rng::{SampleRange, SampleUniform, SimRng};
-pub use stats::{empirical_cdf, Cdf, CdfPoint, Counter, Histogram, Summary, TimeSeries};
+pub use shard::{merge_outboxes, EpochSchedule, Outbox, OutboxEntry};
+pub use stats::{
+    empirical_cdf, merge_step_sum, Cdf, CdfPoint, Counter, Histogram, Summary, TimeSeries,
+};
 pub use time::{SimDuration, SimTime};

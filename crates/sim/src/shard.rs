@@ -1,0 +1,307 @@
+//! Sharded-execution primitives: epoch barriers and the canonical
+//! cross-shard merge.
+//!
+//! A sharded runtime splits one global event loop into N independent
+//! [`Engine`](crate::Engine) loops that advance in lock-step **epochs**:
+//! every shard runs its own events up to the epoch boundary (possibly on
+//! different worker threads), queues any effect that crosses a shard
+//! boundary into its [`Outbox`], and then a single-threaded merge step
+//! applies the union of all outboxes in the canonical
+//! `(time, shard_id, seq)` order before the next epoch starts.
+//!
+//! Determinism contract: shard *count* is part of the configuration (it
+//! changes results), worker *thread count* is not. Each shard's intra-epoch
+//! execution is sequential, the merge order is a pure function of the
+//! entries, and entries are applied on one thread — so the outcome of a
+//! sharded run is byte-identical for any number of worker threads,
+//! the same discipline [`parallel_map_with`](crate::parallel_map_with)
+//! established for independent sweeps.
+
+use crate::time::{SimDuration, SimTime};
+
+/// One cross-shard effect, stamped with the canonical merge key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutboxEntry<M> {
+    /// Simulated instant the effect was emitted at.
+    pub at: SimTime,
+    /// Shard that emitted it.
+    pub from: usize,
+    /// Per-shard emission sequence number (FIFO tie-breaker).
+    pub seq: u64,
+    /// The effect payload.
+    pub msg: M,
+}
+
+impl<M> OutboxEntry<M> {
+    /// The canonical `(time, shard_id, seq)` merge key.
+    pub fn key(&self) -> (SimTime, usize, u64) {
+        (self.at, self.from, self.seq)
+    }
+}
+
+/// A shard's queue of outgoing cross-shard effects for the current epoch.
+///
+/// Entries are stamped with the emitting shard's id and a monotonically
+/// increasing sequence number, so the global merge order is fully
+/// determined by the entries themselves — never by which worker thread
+/// produced them first.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    shard: usize,
+    next_seq: u64,
+    entries: Vec<OutboxEntry<M>>,
+}
+
+impl<M> Outbox<M> {
+    /// Creates an empty outbox owned by shard `shard`.
+    pub fn new(shard: usize) -> Self {
+        Outbox {
+            shard,
+            next_seq: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Id of the owning shard.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Queues one effect emitted at simulated time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `at` precedes the previous entry: shard
+    /// time is monotone, so emissions must be too — the merge relies on
+    /// each outbox already being sorted.
+    pub fn push(&mut self, at: SimTime, msg: M) {
+        debug_assert!(
+            self.entries.last().map_or(true, |e| e.at <= at),
+            "outbox emissions must be monotone in time"
+        );
+        self.entries.push(OutboxEntry {
+            at,
+            from: self.shard,
+            seq: self.next_seq,
+            msg,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total effects emitted over the outbox's lifetime (not reset by
+    /// [`Outbox::take`]).
+    pub fn emitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Drains the queued entries, leaving the outbox empty for the next
+    /// epoch. Sequence numbers keep increasing across epochs.
+    pub fn take(&mut self) -> Vec<OutboxEntry<M>> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+/// Merges per-shard outbox drains into the canonical global order.
+///
+/// Each inner vector must be sorted by time (which [`Outbox::push`]
+/// guarantees); the merged order is `(time, shard_id, seq)` — exactly the
+/// order a single global [`Engine`](crate::Engine) would have fired the
+/// same events in, had they been scheduled shard-by-shard.
+pub fn merge_outboxes<M>(boxes: Vec<Vec<OutboxEntry<M>>>) -> Vec<OutboxEntry<M>> {
+    let total = boxes.iter().map(Vec::len).sum();
+    let mut merged: Vec<OutboxEntry<M>> = Vec::with_capacity(total);
+    for entries in boxes {
+        merged.extend(entries);
+    }
+    // Stable sort on a total key; per-shard FIFO is preserved by `seq`.
+    merged.sort_by_key(|e| (e.at, e.from, e.seq));
+    merged
+}
+
+/// The epoch boundaries of a sharded run: `start + epoch, start + 2·epoch,
+/// …` capped at `horizon` (the final epoch is truncated so the last
+/// boundary is exactly `horizon`).
+///
+/// ```
+/// use telecast_sim::{EpochSchedule, SimDuration, SimTime};
+///
+/// let ends: Vec<_> =
+///     EpochSchedule::new(SimTime::ZERO, SimTime::from_secs(25), SimDuration::from_secs(10))
+///         .collect();
+/// assert_eq!(
+///     ends,
+///     vec![
+///         SimTime::from_secs(10),
+///         SimTime::from_secs(20),
+///         SimTime::from_secs(25),
+///     ]
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpochSchedule {
+    next: SimTime,
+    horizon: SimTime,
+    epoch: SimDuration,
+    done: bool,
+}
+
+impl EpochSchedule {
+    /// Builds the boundary iterator for `[start, horizon]` with the given
+    /// epoch length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is zero (the barrier would never advance).
+    pub fn new(start: SimTime, horizon: SimTime, epoch: SimDuration) -> Self {
+        assert!(!epoch.is_zero(), "epoch length must be positive");
+        EpochSchedule {
+            next: start,
+            horizon,
+            epoch,
+            done: horizon <= start,
+        }
+    }
+}
+
+impl Iterator for EpochSchedule {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        if self.done {
+            return None;
+        }
+        let end = (self.next + self.epoch).min(self.horizon);
+        self.next = end;
+        self.done = end >= self.horizon;
+        Some(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, SimRng};
+
+    #[test]
+    fn outbox_stamps_sequence_and_shard() {
+        let mut outbox: Outbox<&str> = Outbox::new(3);
+        outbox.push(SimTime::from_secs(1), "a");
+        outbox.push(SimTime::from_secs(1), "b");
+        outbox.push(SimTime::from_secs(2), "c");
+        assert_eq!(outbox.len(), 3);
+        let drained = outbox.take();
+        assert!(outbox.is_empty());
+        assert_eq!(outbox.emitted(), 3);
+        assert_eq!(drained[0].key(), (SimTime::from_secs(1), 3, 0));
+        assert_eq!(drained[1].key(), (SimTime::from_secs(1), 3, 1));
+        assert_eq!(drained[2].key(), (SimTime::from_secs(2), 3, 2));
+    }
+
+    #[test]
+    fn sequence_numbers_survive_take() {
+        let mut outbox: Outbox<()> = Outbox::new(0);
+        outbox.push(SimTime::from_secs(1), ());
+        outbox.take();
+        outbox.push(SimTime::from_secs(2), ());
+        let drained = outbox.take();
+        assert_eq!(drained[0].seq, 1, "seq keeps increasing across epochs");
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_shard_then_seq() {
+        let mut a: Outbox<u32> = Outbox::new(0);
+        let mut b: Outbox<u32> = Outbox::new(1);
+        b.push(SimTime::from_secs(1), 10);
+        a.push(SimTime::from_secs(1), 0);
+        a.push(SimTime::from_secs(1), 1);
+        b.push(SimTime::from_secs(3), 11);
+        a.push(SimTime::from_secs(2), 2);
+        let merged = merge_outboxes(vec![a.take(), b.take()]);
+        let payloads: Vec<u32> = merged.iter().map(|e| e.msg).collect();
+        // t=1: shard 0 (seq 0, 1) before shard 1; then t=2 and t=3.
+        assert_eq!(payloads, vec![0, 1, 10, 2, 11]);
+    }
+
+    /// The merge must reproduce the order a single global engine would
+    /// fire the same events in — the property the sharded session's
+    /// determinism rests on.
+    #[test]
+    fn merge_matches_single_engine_reference() {
+        for seed in 0..16u64 {
+            let mut rng = SimRng::seed_from_u64(0x5AAD ^ seed);
+            let shard_count = 1 + (rng.next_u64() % 6) as usize;
+            let mut boxes: Vec<Outbox<(usize, u64)>> = (0..shard_count).map(Outbox::new).collect();
+            let mut engine: Engine<(usize, u64)> = Engine::new();
+            // Schedule shard-by-shard so a global engine's FIFO tie-break
+            // coincides with (shard, seq) — the canonical merge key.
+            for (shard, outbox) in boxes.iter_mut().enumerate() {
+                let mut at = SimTime::ZERO;
+                for i in 0..64u64 {
+                    at += SimDuration::from_millis(rng.next_u64() % 5);
+                    engine.schedule_at(at, (shard, i));
+                    outbox.push(at, (shard, i));
+                }
+            }
+            let merged = merge_outboxes(boxes.iter_mut().map(Outbox::take).collect());
+            let reference: Vec<(usize, u64)> =
+                std::iter::from_fn(|| engine.pop().map(|f| f.payload)).collect();
+            let merged_payloads: Vec<(usize, u64)> = merged.into_iter().map(|e| e.msg).collect();
+            assert_eq!(merged_payloads, reference, "diverged at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn epoch_schedule_truncates_final_epoch() {
+        let ends: Vec<_> = EpochSchedule::new(
+            SimTime::from_secs(5),
+            SimTime::from_secs(26),
+            SimDuration::from_secs(10),
+        )
+        .collect();
+        assert_eq!(
+            ends,
+            vec![
+                SimTime::from_secs(15),
+                SimTime::from_secs(25),
+                SimTime::from_secs(26),
+            ]
+        );
+    }
+
+    #[test]
+    fn epoch_schedule_empty_when_horizon_reached() {
+        let mut sched = EpochSchedule::new(
+            SimTime::from_secs(5),
+            SimTime::from_secs(5),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(sched.next(), None);
+    }
+
+    #[test]
+    fn epoch_schedule_exact_multiple_has_no_stub() {
+        let ends: Vec<_> = EpochSchedule::new(
+            SimTime::ZERO,
+            SimTime::from_secs(20),
+            SimDuration::from_secs(10),
+        )
+        .collect();
+        assert_eq!(ends, vec![SimTime::from_secs(10), SimTime::from_secs(20)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length must be positive")]
+    fn zero_epoch_panics() {
+        EpochSchedule::new(SimTime::ZERO, SimTime::from_secs(1), SimDuration::ZERO);
+    }
+}

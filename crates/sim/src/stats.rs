@@ -330,6 +330,43 @@ impl TimeSeries {
     }
 }
 
+/// Merges step-interpreted time series by summation — the shard-wise
+/// reduction for population and bandwidth series.
+///
+/// Each input is read as a step function: a recorded value holds until
+/// the series' next point. The merged series has a point at every
+/// distinct input timestamp carrying the sum of every series' value at
+/// that instant (series that have not recorded yet contribute 0).
+/// Consecutive equal sums are collapsed, matching how the session
+/// samplers collapse their own step series.
+pub fn merge_step_sum(series: &[&TimeSeries]) -> TimeSeries {
+    let mut cursors: Vec<usize> = vec![0; series.len()];
+    let mut current: Vec<f64> = vec![0.0; series.len()];
+    let mut merged = TimeSeries::new();
+    loop {
+        let next = series
+            .iter()
+            .zip(&cursors)
+            .filter_map(|(s, &i)| s.points().get(i).map(|&(at, _)| at))
+            .min();
+        let Some(at) = next else { break };
+        for ((s, cursor), value) in series.iter().zip(&mut cursors).zip(&mut current) {
+            while let Some(&(t, v)) = s.points().get(*cursor) {
+                if t > at {
+                    break;
+                }
+                *value = v;
+                *cursor += 1;
+            }
+        }
+        let total: f64 = current.iter().sum();
+        if merged.last() != Some(total) {
+            merged.record(at, total);
+        }
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +466,56 @@ mod tests {
         assert_eq!(ts.peak(), 30.0);
         assert_eq!(ts.last(), Some(20.0));
         assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    fn merge_step_sum_sums_step_functions() {
+        let mut a = TimeSeries::new();
+        a.record(SimTime::from_secs(1), 10.0);
+        a.record(SimTime::from_secs(3), 20.0);
+        let mut b = TimeSeries::new();
+        b.record(SimTime::from_secs(2), 5.0);
+        let merged = merge_step_sum(&[&a, &b]);
+        assert_eq!(
+            merged.points(),
+            &[
+                (SimTime::from_secs(1), 10.0),
+                (SimTime::from_secs(2), 15.0),
+                (SimTime::from_secs(3), 25.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_step_sum_collapses_equal_sums() {
+        // Two shards moving in opposite directions at the same instant
+        // leave the total unchanged; the merged series stays flat.
+        let mut a = TimeSeries::new();
+        a.record(SimTime::from_secs(1), 10.0);
+        a.record(SimTime::from_secs(2), 8.0);
+        let mut b = TimeSeries::new();
+        b.record(SimTime::from_secs(1), 4.0);
+        b.record(SimTime::from_secs(2), 6.0);
+        let merged = merge_step_sum(&[&a, &b]);
+        assert_eq!(merged.points(), &[(SimTime::from_secs(1), 14.0)]);
+    }
+
+    #[test]
+    fn merge_step_sum_shared_timestamps_consume_together() {
+        let mut a = TimeSeries::new();
+        a.record(SimTime::from_secs(5), 1.0);
+        let mut b = TimeSeries::new();
+        b.record(SimTime::from_secs(5), 2.0);
+        b.record(SimTime::from_secs(5), 3.0); // same-instant re-record
+        let merged = merge_step_sum(&[&a, &b]);
+        assert_eq!(merged.points(), &[(SimTime::from_secs(5), 4.0)]);
+    }
+
+    #[test]
+    fn merge_step_sum_of_nothing_is_empty() {
+        assert!(merge_step_sum(&[]).is_empty());
+        let empty = TimeSeries::new();
+        assert!(merge_step_sum(&[&empty, &empty]).is_empty());
     }
 
     #[test]

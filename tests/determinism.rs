@@ -99,3 +99,86 @@ fn workload_scripts_are_reproducible() {
     assert_eq!(build(42), build(42));
     assert_ne!(build(42), build(43));
 }
+
+// ---------------------------------------------------------------------
+// Sharded runtime: the mega_storm figure must be byte-identical across
+// worker counts (threads only map shards onto OS threads) and across
+// repetitions of the same seed.
+// ---------------------------------------------------------------------
+
+fn small_mega(seed: u64, threads: usize) -> String {
+    use telecast::DelayModelChoice;
+    use telecast_bench::{run_mega, MegaScenario};
+    run_mega(&MegaScenario {
+        viewers: 800,
+        minutes: 2,
+        churn_per_minute: 0.1,
+        backend: DelayModelChoice::Dense,
+        seed,
+        threads,
+        epoch_secs: 5,
+        ..MegaScenario::default()
+    })
+    .figure
+    .to_json()
+}
+
+#[test]
+fn sharded_mega_storm_json_is_thread_count_independent() {
+    for seed in [21, 22] {
+        let reference = small_mega(seed, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                reference,
+                small_mega(seed, threads),
+                "seed {seed} diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_mega_storm_seeds_differ() {
+    assert_ne!(small_mega(31, 2), small_mega(32, 2));
+}
+
+// ---------------------------------------------------------------------
+// Property: the cross-shard outbox merge reproduces the order a single
+// global event loop would have fired the same effects in — the merge
+// key (time, shard, seq) is a faithful stand-in for the engine's
+// (time, global-seq) FIFO tie-break when effects are stamped shard by
+// shard.
+// ---------------------------------------------------------------------
+
+#[test]
+fn shard_merge_preserves_global_event_order() {
+    use telecast_sim::{merge_outboxes, Engine, Outbox, SimTime};
+
+    let mut rng = SimRng::seed_from_u64(0x00DD_5EED);
+    for _ in 0..25 {
+        let shard_count = rng.range(2..=6usize);
+        // A single-loop reference engine schedules every effect in the
+        // same shard-major order the outboxes stamp them in.
+        let mut reference: Engine<(usize, u64)> = Engine::new();
+        let mut outboxes = Vec::new();
+        for shard in 0..shard_count {
+            let mut outbox: Outbox<u64> = Outbox::new(shard);
+            let events = rng.range(0..=30usize);
+            let mut at = SimTime::ZERO;
+            for _ in 0..events {
+                at += telecast_sim::SimDuration::from_millis(rng.range(0..=5u64));
+                let seq = outbox.emitted();
+                outbox.push(at, seq);
+                reference.schedule_at(at, (shard, seq));
+            }
+            outboxes.push(outbox.take());
+        }
+        let merged: Vec<(usize, u64)> = merge_outboxes(outboxes)
+            .into_iter()
+            .map(|e| (e.from, e.msg))
+            .collect();
+        let fired: Vec<(usize, u64)> =
+            std::iter::from_fn(|| reference.pop().map(|f| f.payload)).collect();
+        assert_eq!(merged, fired, "merge order diverged from the single loop");
+    }
+}
