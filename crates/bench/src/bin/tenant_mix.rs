@@ -1,41 +1,42 @@
-//! The spike-storm predictive-autoscaling scenario.
+//! The tenant-mix multi-tenancy scenario.
 //!
-//! Replayed-highlight bursts (6× and 9× the base arrival rate for a few
-//! minutes each) land on a diurnal baseline while the CDN runs split
-//! per-region pools. With `--predictive` each regional controller sees
-//! the burst one forecast horizon ahead — through the churn rate
-//! profile's phase plus an EWMA of its region's observed arrivals — and
-//! pre-scales its pool before the first join is rejected; with plain
-//! `--autoscale` the reactive utilisation band only reacts once the
-//! burst is already rejecting.
+//! M concurrent broadcasts share the regional CDN pools through one
+//! capacity broker: Zipf-split audiences, per-tenant quota floors and
+//! ceilings, shared (optionally predictive) autoscalers fed the
+//! aggregate demand, and deficit-fair retry arbitration. The headline
+//! tenant bursts mid-run; the figure records how far the other
+//! tenants' acceptance drifts (the fairness spread) and what the
+//! shared pools cost.
 //!
 //! ```sh
-//! cargo run --release -p telecast-bench --bin spike_storm -- --autoscale --predictive
-//! cargo run --release -p telecast-bench --bin spike_storm -- \
-//!     --viewers 20000 --minutes 30 --pool-mbps 10000 --autoscale   # reactive comparator
+//! cargo run --release -p telecast-bench --bin tenant_mix -- --autoscale --predictive
+//! cargo run --release -p telecast-bench --bin tenant_mix -- \
+//!     --tenants 8 --viewers 40000 --minutes 10 --autoscale --predictive
 //! ```
 //!
 //! All exported metrics are deterministic for a fixed seed: two runs
-//! with the same flags write byte-identical `results/spike_storm.json`.
+//! with the same flags write byte-identical `results/tenant_mix.json`.
 //! Only the wall-clock line (and the gitignored `.meta.json` side file
 //! the bench gate reads) varies between machines.
 
 use std::time::Instant;
 
-use telecast_bench::{run_spike, ScenarioArgs, SpikeScenario};
+use telecast_bench::{run_tenant_mix, ScenarioArgs, TenantMixScenario};
 
 fn main() {
     let args = ScenarioArgs::from_env();
     if args.threads.is_some() {
         eprintln!(
-            "warning: this scenario runs the legacy single-loop engine; \
+            "warning: this scenario advances tenants sequentially; \
              --threads only affects the sharded runtime (see mega_storm)."
         );
     }
-    let defaults = SpikeScenario::default();
+    let defaults = TenantMixScenario::default();
     let minutes = args.minutes.unwrap_or(defaults.minutes);
-    let scenario = SpikeScenario {
+    let scenario = TenantMixScenario {
         viewers: args.viewers.unwrap_or(defaults.viewers),
+        tenants: args.tenants.unwrap_or(defaults.tenants),
+        zipf: args.zipf.unwrap_or(defaults.zipf),
         minutes,
         churn_per_minute: args
             .churn_pct
@@ -49,18 +50,14 @@ fn main() {
         pool_mbps: args.pool_mbps,
         autoscale: args.autoscale,
         predictive: args.predictive,
-        // Per-region pools are the scenario's point; `--per-region` is
-        // accepted for symmetry with the other bins but already implied.
-        per_region: true,
     };
 
     println!(
-        "== spike storm: {} viewers, {}×/{}× bursts on {}-minute days over {} minutes \
-         (per-region pools, {}) ==",
+        "== tenant mix: {} tenants over a Zipf({}) audience of {} for {} minutes \
+         (shared per-region pools, {}) ==",
+        scenario.tenants,
+        scenario.zipf,
         scenario.viewers,
-        scenario.spike_multiplier,
-        scenario.spike_multiplier * 1.5,
-        scenario.day_minutes,
         scenario.minutes,
         match (scenario.autoscale, scenario.predictive) {
             (true, true) => "predictive autoscale",
@@ -69,15 +66,31 @@ fn main() {
         },
     );
     let start = Instant::now();
-    let outcome = run_spike(&scenario);
+    let outcome = run_tenant_mix(&scenario);
     let wall = start.elapsed().as_secs_f64();
 
     println!("  wall clock           : {wall:.2}s");
-    println!("  final population     : {}", outcome.final_population);
-    println!("  acceptance ratio ρ   : {:.3}", outcome.acceptance_ratio);
+    println!("  audiences (Zipf)     : {:?}", outcome.audiences);
     println!(
-        "  rejected + retried   : {} + {} ({} still parked)",
-        outcome.rejected_joins, outcome.join_retries, outcome.retry_queue_len
+        "  final populations    : {:?} ({} total)",
+        outcome.final_population_by_tenant,
+        outcome.final_population_by_tenant.iter().sum::<usize>()
+    );
+    for i in 0..outcome.audiences.len() {
+        println!(
+            "  tenant {i:<2}           : ρ {:.3}, bad-join {:.3}, rejected {}, retried {}, \
+             served {:.0} Mbps-h{}",
+            outcome.acceptance_by_tenant[i],
+            outcome.bad_join_rate_by_tenant[i],
+            outcome.rejected_by_tenant[i],
+            outcome.retries_by_tenant[i],
+            outcome.served_mbps_hours_by_tenant[i],
+            if i == 0 { "  (burster)" } else { "" },
+        );
+    }
+    println!(
+        "  acceptance spread    : {:.4} (max − min ρ across tenants)",
+        outcome.acceptance_spread
     );
     println!(
         "  scale ups/downs      : {}/{}",

@@ -34,6 +34,11 @@ pub struct ScenarioArgs {
     /// [`telecast_sim::default_parallelism`] when unset; the output is
     /// thread-count-independent, so this is purely a wall-clock knob.
     pub threads: Option<usize>,
+    /// `--tenants M`: concurrent tenant broadcasts sharing the pools
+    /// (multi-tenant scenarios only).
+    pub tenants: Option<u32>,
+    /// `--zipf S`: Zipf exponent of the tenant audience-size split.
+    pub zipf: Option<f64>,
 }
 
 impl ScenarioArgs {
@@ -107,6 +112,28 @@ impl ScenarioArgs {
                     }
                     out.threads = Some(n);
                 }
+                "--tenants" => {
+                    let v = next_value(&mut args, "--tenants")?;
+                    let n: u32 = parse_num(&v, "--tenants")?;
+                    // Zero tenants is as meaningless as zero viewers —
+                    // same parity check, same clean usage error.
+                    if n == 0 {
+                        return Err("--tenants must be positive".into());
+                    }
+                    out.tenants = Some(n);
+                }
+                "--zipf" => {
+                    let v = next_value(&mut args, "--zipf")?;
+                    let s: f64 = v
+                        .parse()
+                        .map_err(|_| format!("--zipf expects a number, got `{v}`"))?;
+                    // A non-positive exponent inverts or degenerates the
+                    // audience split; reject it here like `--churn-pct 0`.
+                    if !(s > 0.0 && s.is_finite()) {
+                        return Err(format!("--zipf must be a positive number: {s}"));
+                    }
+                    out.zipf = Some(s);
+                }
                 other => {
                     // Bare positional integer = viewer count (the original
                     // `flash_crowd <N>` interface). The same positivity
@@ -121,7 +148,8 @@ impl ScenarioArgs {
                                  (expected --viewers N, --minutes M, \
                                  --backend dense|coordinate|auto, --seed S, \
                                  --churn-pct P, --pool-mbps N, --autoscale, \
-                                 --predictive, --per-region, --threads N)"
+                                 --predictive, --per-region, --threads N, \
+                                 --tenants M, --zipf S)"
                             ))
                         }
                     }
@@ -237,6 +265,24 @@ mod tests {
         assert!(parse(&["--viewers", "0"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--threads"]).is_err());
+    }
+
+    #[test]
+    fn tenant_flags_share_the_viewers_validation_parity() {
+        let args = parse(&["--tenants", "8", "--zipf", "1.1"]).unwrap();
+        assert_eq!(args.tenants, Some(8));
+        assert_eq!(args.zipf, Some(1.1));
+        // `--tenants 0` is rejected exactly like `--viewers 0`…
+        assert!(parse(&["--tenants", "0"]).is_err());
+        assert!(parse(&["--tenants"]).is_err());
+        assert!(parse(&["--tenants", "many"]).is_err());
+        // …and a non-positive (or non-finite) Zipf exponent like
+        // `--churn-pct 0`.
+        assert!(parse(&["--zipf", "0"]).is_err());
+        assert!(parse(&["--zipf", "-0.5"]).is_err());
+        assert!(parse(&["--zipf", "inf"]).is_err());
+        assert!(parse(&["--zipf", "nan"]).is_err());
+        assert!(parse(&["--zipf"]).is_err());
     }
 
     #[test]

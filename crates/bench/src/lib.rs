@@ -19,6 +19,7 @@ pub mod json;
 pub mod mega;
 pub mod spike;
 pub mod table;
+pub mod tenancy;
 
 pub use churn::{autoscale_policy_for, run_churn, ChurnOutcome, ChurnScenario};
 pub use cli::ScenarioArgs;
@@ -29,6 +30,9 @@ pub use harness::{run_scenario, RunResult, Scenario};
 pub use mega::{run_mega, MegaOutcome, MegaScenario};
 pub use spike::{run_spike, SpikeOutcome, SpikeScenario};
 pub use table::{FigureData, Series};
+pub use tenancy::{
+    run_tenant_mix, tenant_config, tenant_quota, zipf_split, TenantMixOutcome, TenantMixScenario,
+};
 
 /// Prints a figure's table to stdout and writes `results/<id>.json`.
 ///

@@ -138,6 +138,13 @@ pub struct SpikeOutcome {
     pub provisioned_series: Vec<(f64, f64)>,
     /// Per-pool-slot provisioned series, labelled by region.
     pub provisioned_by_region: Vec<(String, Vec<(f64, f64)>)>,
+    /// Mean absolute forecast error of the predictive controllers
+    /// across every matured forecast, in Mbps (`None` for reactive or
+    /// static runs). Reported on stdout — deliberately *not* part of
+    /// the exported figure, whose bytes are pinned by the bench gate.
+    pub mean_abs_forecast_error_mbps: Option<f64>,
+    /// Matured forecasts scored into the error above.
+    pub forecasts_scored: usize,
 }
 
 /// Runs the scenario. Pure in the seed: equal scenarios produce equal
@@ -273,7 +280,15 @@ pub fn run_spike(scenario: &SpikeScenario) -> SpikeOutcome {
         y_label: "per-metric value".into(),
         series,
     };
+    let mean_abs_forecast_error_mbps = m.mean_abs_forecast_error_mbps();
+    let forecasts_scored = m
+        .forecast_error_by_slot
+        .iter()
+        .map(|series| series.points().len())
+        .sum();
     SpikeOutcome {
+        mean_abs_forecast_error_mbps,
+        forecasts_scored,
         final_population: session.connected_viewers(),
         acceptance_ratio: m.acceptance_ratio(),
         rejected_joins: m.rejected_viewers.value(),

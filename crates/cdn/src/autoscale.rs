@@ -274,6 +274,10 @@ pub struct Autoscaler {
     last_down: Option<SimTime>,
     ups: u64,
     downs: u64,
+    /// The most recent demand forecast: (when it comes due, forecast
+    /// demand in Mbps). Refreshed on every predictive evaluation so
+    /// callers can later score forecast vs realised demand.
+    last_forecast: Option<(SimTime, f64)>,
 }
 
 impl Autoscaler {
@@ -295,6 +299,7 @@ impl Autoscaler {
             last_down: None,
             ups: 0,
             downs: 0,
+            last_forecast: None,
         }
     }
 
@@ -366,6 +371,15 @@ impl Autoscaler {
         self.downs
     }
 
+    /// The most recent predictive forecast: (due time `now + horizon`,
+    /// forecast demand in Mbps). `None` on reactive controllers or
+    /// before the first predictive evaluation. Callers compare it
+    /// against the demand realised at the due time to score the
+    /// forecaster (see `SessionMetrics::forecast_error_by_slot`).
+    pub fn last_forecast(&self) -> Option<(SimTime, f64)> {
+        self.last_forecast
+    }
+
     /// Evaluates the policy against `pool` at virtual time `now` and, if
     /// a resize is warranted (band violated, bounds allow movement,
     /// cooldown elapsed), records the action and returns it. The caller
@@ -432,6 +446,7 @@ impl Autoscaler {
         // steady-state flow itself is balanced by departures).
         let surge = pred.horizon.as_secs_f64()
             * (self.ewma_trend + self.ewma_demand * (phase_ratio.max(0.0) - 1.0));
+        self.last_forecast = Some((now + pred.horizon, (used + surge).max(0.0)));
         let target_mbps = {
             let raw = (used + surge).max(0.0) / pred.target_utilisation;
             let min = p.min.as_mbps_f64();

@@ -35,11 +35,13 @@
 //! ```
 
 pub mod autoscale;
+pub mod broker;
 mod cost;
 mod distribution;
 mod server;
 
 pub use autoscale::{AutoscalePolicy, Autoscaler, PredictivePolicy, ScaleDecision, ScaleDirection};
+pub use broker::{CapacityBroker, TenantHandle, TenantId, TenantQuota};
 pub use cost::{CostModel, ProvisionedMeter, TrafficMeter};
 pub use distribution::{Distribution, IngestStats};
 pub use server::{EdgeServer, ServerId};
@@ -181,8 +183,9 @@ impl fmt::Display for CdnRejectedError {
 impl Error for CdnRejectedError {}
 
 /// Handle to an active CDN-served stream; release it to return the
-/// bandwidth to the pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// bandwidth to the pool. Ordered by issue sequence so holders of many
+/// leases (the [`broker`]) can walk them deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CdnLease(u64);
 
 /// The simulated CDN: bounded (but elastic) outbound pool(s) + per-region

@@ -54,6 +54,7 @@ mod monitor;
 mod protocol;
 mod session;
 mod shard;
+mod tenancy;
 mod viewer;
 
 pub use buffer::ViewerBuffer;
@@ -66,4 +67,5 @@ pub use monitor::{GscMonitor, StreamMeta};
 pub use protocol::{ControlMessage, ProtocolLog, ProtocolPhase};
 pub use session::{SessionBuilder, TelecastSession};
 pub use shard::{ShardStats, ShardedSession};
+pub use tenancy::TenantFleet;
 pub use viewer::{StreamSub, ViewerState, ViewerStatus};

@@ -69,6 +69,11 @@ pub struct SessionMetrics {
     /// Foreign-lease batches returned to their donor shard when a
     /// spill-served viewer departed.
     pub spill_releases: Counter,
+    /// Per-slot forecast error of the predictive autoscaler, in Mbps:
+    /// each sample is `forecast − realised` reserved demand, recorded
+    /// when a forecast's horizon comes due (positive = over-forecast).
+    /// Empty on reactive controllers.
+    pub forecast_error_by_slot: Vec<TimeSeries>,
     /// Deepest the event heap has ever been — the queue-pressure figure
     /// a capacity plan needs.
     pub peak_event_queue: u64,
@@ -112,6 +117,7 @@ impl SessionMetrics {
             spill_requests: Counter::new("spill_requests"),
             spill_admits: Counter::new("spill_admits"),
             spill_releases: Counter::new("spill_releases"),
+            forecast_error_by_slot: Vec::new(),
             peak_event_queue: 0,
             peak_retry_queue: 0,
         }
@@ -177,6 +183,35 @@ impl SessionMetrics {
             return;
         }
         series.record(at, mbps);
+    }
+
+    /// Records a matured forecast's error for one pool slot, growing
+    /// the slot list as needed. `error_mbps` is forecast − realised.
+    pub fn sample_forecast_error(&mut self, slot: usize, at: SimTime, error_mbps: f64) {
+        if self.forecast_error_by_slot.len() <= slot {
+            self.forecast_error_by_slot
+                .resize_with(slot + 1, TimeSeries::new);
+        }
+        self.forecast_error_by_slot[slot].record(at, error_mbps);
+    }
+
+    /// Mean absolute forecast error across every slot's matured
+    /// forecasts, in Mbps; `None` when no forecast has matured (e.g. a
+    /// reactive controller).
+    pub fn mean_abs_forecast_error_mbps(&self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for series in &self.forecast_error_by_slot {
+            for &(_, error) in series.points() {
+                sum += error.abs();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
     }
 
     /// CDF of join delays (milliseconds).

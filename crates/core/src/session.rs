@@ -18,7 +18,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
-use telecast_cdn::{Autoscaler, Cdn, ScaleDirection};
+use telecast_cdn::{Autoscaler, CapacityBroker, ScaleDirection, TenantHandle};
 use telecast_media::{PrioritizedStream, StreamId, ViewCatalog, ViewId};
 use telecast_net::{
     Bandwidth, CoordinateDelayModel, DelayBackend, DelayModel, NodeId, NodeKind, NodePorts,
@@ -101,9 +101,20 @@ pub struct SessionBuilder {
     config: SessionConfig,
     viewer_count: usize,
     home_region: Option<Region>,
+    cdn_handle: Option<TenantHandle>,
 }
 
 impl SessionBuilder {
+    /// Attaches this session to a shared [`CapacityBroker`] through
+    /// `handle` instead of letting it own a private CDN — the
+    /// multi-tenant path (and the sharded runtime's, where every shard
+    /// windows one slot of the same broker). Without this call the
+    /// builder constructs a single-tenant broker with a full quota,
+    /// which behaves exactly like the legacy owned `Cdn`.
+    pub fn with_cdn_handle(mut self, handle: TenantHandle) -> Self {
+        self.cdn_handle = Some(handle);
+        self
+    }
     /// Number of viewer gateways to provision (they start idle; joins are
     /// driven by the workload).
     pub fn viewers(mut self, count: usize) -> Self {
@@ -195,9 +206,12 @@ impl SessionBuilder {
         }
 
         let monitor = GscMonitor::new(&config.sites, lsc_nodes.clone());
-        let cdn = Cdn::new(config.cdn);
-        let autoscalers = build_autoscalers(&config, &cdn);
+        let cdn = match self.cdn_handle {
+            Some(handle) => handle,
+            None => CapacityBroker::single(config.cdn),
+        };
         let pool_slots = cdn.pool_slots();
+        let autoscalers = build_autoscalers(&config, pool_slots);
         // Pre-size the hot-path queues to the population: a churning
         // session keeps roughly one dwell timer per connected viewer in
         // the heap, so without the headroom a million-viewer prefill
@@ -236,6 +250,7 @@ impl SessionBuilder {
                 .collect(),
             arrival_demand_kbps: vec![0; pool_slots],
             prev_used_kbps: vec![0; pool_slots],
+            pending_forecasts: (0..pool_slots).map(|_| VecDeque::new()).collect(),
             retry_parked: HashSet::new(),
             retry_counts: HashMap::new(),
             connected_count: 0,
@@ -251,7 +266,7 @@ impl SessionBuilder {
 /// `min`/`max`/`step` split by the same region weights as the pool
 /// itself — each instance owns its cooldown clocks, so one region's
 /// scale action never gates another's.
-fn build_autoscalers(config: &SessionConfig, cdn: &Cdn) -> Vec<Autoscaler> {
+pub(crate) fn build_autoscalers(config: &SessionConfig, pool_slots: usize) -> Vec<Autoscaler> {
     let Some(policy) = &config.autoscale else {
         return Vec::new();
     };
@@ -259,7 +274,7 @@ fn build_autoscalers(config: &SessionConfig, cdn: &Cdn) -> Vec<Autoscaler> {
         Some(predictive) => Autoscaler::predictive(slot_policy, predictive),
         None => Autoscaler::new(slot_policy),
     };
-    if cdn.pool_slots() == 1 {
+    if pool_slots == 1 {
         return vec![make(*policy)];
     }
     policy
@@ -304,7 +319,7 @@ pub struct TelecastSession {
     registry: NodeRegistry,
     delays: DelayBackend,
     engine: Engine<SessionEvent>,
-    cdn: Cdn,
+    cdn: TenantHandle,
     gsc_node: NodeId,
     lsc_nodes: BTreeMap<Region, NodeId>,
     edge_nodes: BTreeMap<Region, NodeId>,
@@ -348,6 +363,11 @@ pub struct TelecastSession {
     /// the finite difference behind the predictive controller's
     /// demand-trend EWMA.
     prev_used_kbps: Vec<u64>,
+    /// Outstanding demand forecasts per pool slot: `(due, forecast
+    /// Mbps)` pairs recorded at each predictive evaluation, scored
+    /// against the realised reserved demand once the due time passes
+    /// (see `SessionMetrics::forecast_error_by_slot`).
+    pending_forecasts: Vec<VecDeque<(SimTime, f64)>>,
     /// Members of the retry queue that are still eligible (a churn dwell
     /// expiry unparks its viewer — the pool owns it again from then on).
     retry_parked: HashSet<NodeId>,
@@ -371,6 +391,7 @@ impl TelecastSession {
             config,
             viewer_count: 0,
             home_region: None,
+            cdn_handle: None,
         }
     }
 
@@ -453,8 +474,10 @@ impl TelecastSession {
         total
     }
 
-    /// The CDN under simulation.
-    pub fn cdn(&self) -> &Cdn {
+    /// The session's view of the CDN under simulation: a tenant handle
+    /// onto the capacity broker (a lone full-quota tenant on the legacy
+    /// single-broadcast path).
+    pub fn cdn(&self) -> &TenantHandle {
         &self.cdn
     }
 
@@ -529,11 +552,12 @@ impl TelecastSession {
         // against its region's pool slot, EWMA-smoothed at the next
         // autoscale tick.
         if fresh
-            && self
+            && (self
                 .autoscalers
                 .first()
                 .map(Autoscaler::is_predictive)
                 .unwrap_or(false)
+                || self.cdn.fleet_managed())
         {
             let slot = self.cdn.slot_of(region);
             self.arrival_demand_kbps[slot] += self.view_demand_kbps(view);
@@ -657,7 +681,17 @@ impl TelecastSession {
         let period_secs = period.as_secs_f64();
         let mut scaled = false;
         for slot in 0..self.autoscalers.len() {
-            let pool = *self.cdn.pool(slot);
+            let pool = self.cdn.pool(slot);
+            // Score forecasts whose horizon has come due against the
+            // demand actually reserved now.
+            while let Some(&(due, forecast_mbps)) = self.pending_forecasts[slot].front() {
+                if due > now {
+                    break;
+                }
+                self.pending_forecasts[slot].pop_front();
+                let error = forecast_mbps - pool.used().as_mbps_f64();
+                self.metrics.sample_forecast_error(slot, now, error);
+            }
             let scaler = &mut self.autoscalers[slot];
             let decision = if predictive {
                 let fresh_kbps = std::mem::replace(&mut self.arrival_demand_kbps[slot], 0);
@@ -666,7 +700,11 @@ impl TelecastSession {
                 let inflow = fresh_kbps as f64 / 1_000.0 / period_secs;
                 let trend = (used_kbps as f64 - prev_kbps as f64) / 1_000.0 / period_secs;
                 scaler.observe_demand(inflow, trend);
-                scaler.evaluate_predictive(now, &pool, phase_ratio)
+                let decision = scaler.evaluate_predictive(now, &pool, phase_ratio);
+                if let Some(forecast) = scaler.last_forecast() {
+                    self.pending_forecasts[slot].push_back(forecast);
+                }
+                decision
             } else {
                 scaler.evaluate(now, &pool)
             };
@@ -712,39 +750,46 @@ impl TelecastSession {
     /// expiry returned it to the pool (unparked), or a scripted re-join
     /// already changed its status.
     fn drain_retry_queues(&mut self) {
-        let now = self.engine.now();
         for slot in 0..self.retry_queues.len() {
             if self.retry_queues[slot].is_empty() {
                 continue;
             }
-            let mut budget_kbps = self.cdn.pool(slot).available().as_kbps();
-            while let Some((viewer, view)) = self.retry_queues[slot].pop_front() {
-                if !self.retry_parked.contains(&viewer) {
-                    continue; // unparked since; drop the stale entry
-                }
-                // Status check before the budget check: a no-longer-
-                // Rejected entry costs nothing and must not stall the
-                // queue behind it.
-                let rejected = self
-                    .viewers
-                    .get(&viewer)
-                    .map(|v| v.status == ViewerStatus::Rejected)
-                    .unwrap_or(false);
-                if !rejected {
-                    self.retry_parked.remove(&viewer);
-                    continue;
-                }
-                let demand = self.view_demand_kbps(view);
-                if budget_kbps < demand {
-                    self.retry_queues[slot].push_front((viewer, view));
-                    break;
-                }
-                self.retry_parked.remove(&viewer);
-                budget_kbps -= demand;
-                *self.retry_counts.entry(viewer).or_insert(0) += 1;
-                self.metrics.join_retries.incr();
-                let _ = self.request_join_inner(viewer, view, now, false);
+            let budget_kbps = self.cdn.pool(slot).available().as_kbps();
+            self.drain_retry_slot(slot, budget_kbps);
+        }
+    }
+
+    /// Drains one slot's retry queue under an explicit bandwidth budget
+    /// — the session-local path hands the pool's whole headroom here; a
+    /// fleet barrier hands each tenant its arbitrated share instead.
+    fn drain_retry_slot(&mut self, slot: usize, mut budget_kbps: u64) {
+        let now = self.engine.now();
+        while let Some((viewer, view)) = self.retry_queues[slot].pop_front() {
+            if !self.retry_parked.contains(&viewer) {
+                continue; // unparked since; drop the stale entry
             }
+            // Status check before the budget check: a no-longer-
+            // Rejected entry costs nothing and must not stall the
+            // queue behind it.
+            let rejected = self
+                .viewers
+                .get(&viewer)
+                .map(|v| v.status == ViewerStatus::Rejected)
+                .unwrap_or(false);
+            if !rejected {
+                self.retry_parked.remove(&viewer);
+                continue;
+            }
+            let demand = self.view_demand_kbps(view);
+            if budget_kbps < demand {
+                self.retry_queues[slot].push_front((viewer, view));
+                break;
+            }
+            self.retry_parked.remove(&viewer);
+            budget_kbps -= demand;
+            *self.retry_counts.entry(viewer).or_insert(0) += 1;
+            self.metrics.join_retries.incr();
+            let _ = self.request_join_inner(viewer, view, now, false);
         }
     }
 
@@ -761,10 +806,11 @@ impl TelecastSession {
 
     /// Parks a CDN-rejected foreground join for retry after the next
     /// scale-up, on the queue of the viewer's region's pool slot. No-op
-    /// without an autoscaler, when already parked, or once the viewer
-    /// exhausted its [`JOIN_RETRY_CAP`].
+    /// without an autoscaler (unless a fleet barrier drains the queue
+    /// instead), when already parked, or once the viewer exhausted its
+    /// [`JOIN_RETRY_CAP`].
     fn park_rejected(&mut self, viewer: NodeId, view: ViewId) {
-        if self.autoscalers.is_empty() {
+        if self.autoscalers.is_empty() && !self.cdn.fleet_managed() {
             return;
         }
         if self.retry_counts.get(&viewer).copied().unwrap_or(0) >= JOIN_RETRY_CAP {
@@ -2881,6 +2927,74 @@ impl TelecastSession {
     pub(crate) fn shard_release_leases(&mut self, leases: Vec<telecast_cdn::CdnLease>) {
         for lease in leases {
             self.cdn.release(lease);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Fleet hooks — the narrow interface a multi-tenant coordinator
+// (`TenantFleet`) drives at its epoch barriers. A fleet-managed session
+// keeps no autoscalers of its own: the fleet aggregates demand across
+// every tenant, scales the shared broker pools, and hands each tenant
+// its arbitrated retry budget. All of these run sequentially in the
+// coordinator's barrier phase.
+// ----------------------------------------------------------------------
+impl TelecastSession {
+    /// Takes (and zeroes) the fresh arrival demand accumulated per pool
+    /// slot since the last barrier, in Kbps — the fleet sums these
+    /// across tenants as the predictive controller's inflow signal.
+    pub(crate) fn fleet_take_arrival_demand(&mut self) -> Vec<u64> {
+        let slots = self.arrival_demand_kbps.len();
+        std::mem::replace(&mut self.arrival_demand_kbps, vec![0; slots])
+    }
+
+    /// This tenant's forecast phase ratio (expected arrival-rate ratio
+    /// one `horizon` ahead, measured against the rate `lag` ago), or
+    /// `None` when no churn runtime drives the session.
+    pub(crate) fn fleet_phase_ratio(
+        &self,
+        now: SimTime,
+        horizon: telecast_sim::SimDuration,
+        lag: telecast_sim::SimDuration,
+    ) -> Option<f64> {
+        self.churn
+            .as_ref()
+            .map(|c| c.spec.rate_profile.forecast_ratio_lagged(now, horizon, lag))
+    }
+
+    /// Worst-case CDN demand parked on each slot's retry queue, in Kbps
+    /// — the per-tenant pending figure the fleet's fair arbitration
+    /// splits pool headroom over. Stale entries (unparked or no longer
+    /// Rejected) cost nothing.
+    pub(crate) fn fleet_pending_retry_kbps(&self) -> Vec<u64> {
+        (0..self.retry_queues.len())
+            .map(|slot| {
+                self.retry_queues[slot]
+                    .iter()
+                    .filter(|(viewer, _)| {
+                        self.retry_parked.contains(viewer)
+                            && self
+                                .viewers
+                                .get(viewer)
+                                .map(|v| v.status == ViewerStatus::Rejected)
+                                .unwrap_or(false)
+                    })
+                    .map(|&(_, view)| self.view_demand_kbps(view))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Drains each slot's retry queue under the budget the fleet's
+    /// arbitration granted this tenant (Kbps per slot; slots beyond the
+    /// budget list get nothing).
+    pub(crate) fn fleet_drain_retries(&mut self, budgets: &[u64]) {
+        for slot in 0..self.retry_queues.len() {
+            let budget = budgets.get(slot).copied().unwrap_or(0);
+            if budget == 0 || self.retry_queues[slot].is_empty() {
+                continue;
+            }
+            self.drain_retry_slot(slot, budget);
         }
     }
 }

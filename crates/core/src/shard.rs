@@ -32,7 +32,11 @@
 use std::collections::{BTreeMap, HashSet};
 use std::time::Instant;
 
-use telecast_cdn::{split_capacity, CdnLease, PoolScope};
+use std::sync::Arc;
+
+use telecast_cdn::{
+    split_capacity, CapacityBroker, CdnLease, PoolScope, TenantHandle, TenantQuota,
+};
 use telecast_media::ViewId;
 use telecast_net::{NodeId, Region};
 use telecast_sim::{
@@ -199,6 +203,17 @@ impl ShardedSession {
             .as_ref()
             .map(|p| p.split(PoolScope::PerRegion));
 
+        // One broker owns every regional pool; each shard gets a
+        // single-slot window onto its own region's slot. The broker's
+        // per-region split is the same weight arithmetic as
+        // `pool_split`, so every shard sees exactly the pool it owned
+        // when it carried a private global-scope `Cdn`.
+        let broker = CapacityBroker::shared(config.cdn.with_pool_scope(PoolScope::PerRegion));
+        let tenant = broker
+            .lock()
+            .expect("fresh broker lock")
+            .register(TenantQuota::FULL);
+
         let mut shards = Vec::with_capacity(Region::ALL.len());
         let mut stats = Vec::with_capacity(Region::ALL.len());
         for (id, &region) in Region::ALL.iter().enumerate() {
@@ -209,8 +224,10 @@ impl ShardedSession {
                 .with_pool_scope(PoolScope::Global);
             cfg.autoscale = policy_split.as_ref().map(|p| p[id]);
             cfg.seed = config.seed ^ SHARD_SEED_SALT.wrapping_mul(id as u64 + 1);
+            let handle = TenantHandle::window(Arc::clone(&broker), tenant, id);
             let mut shard = TelecastSession::builder(cfg)
                 .viewers_in(counts[id], region)
+                .with_cdn_handle(handle)
                 .build();
             shard.enable_sharding(id, region);
             shards.push(shard);
