@@ -10,7 +10,7 @@
 //! ```sh
 //! cargo run --release -p telecast-bench --bin mega_storm
 //! cargo run --release -p telecast-bench --bin mega_storm -- \
-//!     --viewers 100000 --minutes 10 --threads 4 --autoscale
+//!     --viewers 100000 --minutes 10 --threads 4 --epoch-secs 10 --autoscale
 //! ```
 //!
 //! All exported metrics are deterministic for a fixed seed, and
@@ -45,7 +45,7 @@ fn main() {
         pool_mbps: args.pool_mbps,
         autoscale: args.autoscale,
         threads: args.threads.unwrap_or(defaults.threads),
-        epoch_secs: defaults.epoch_secs,
+        epoch_secs: args.epoch_secs.unwrap_or(defaults.epoch_secs),
     };
 
     println!(
@@ -84,16 +84,17 @@ fn main() {
         );
     }
     // Wall-clock per-shard breakdown: observability only, never exported.
-    println!("  shard  region         viewers   events     xshard  busy_s  barrier_s");
+    println!("  shard  region         viewers   events     xshard  busy_s  barrier_s   util");
     for (i, s) in outcome.shard_stats.iter().enumerate() {
         println!(
-            "  {i:>5}  {:<13} {:>8}  {:>9}  {:>7}  {:>6.2}  {:>9.2}",
+            "  {i:>5}  {:<13} {:>8}  {:>9}  {:>7}  {:>6.2}  {:>9.2}  {:>4.0}%",
             format!("{:?}", s.region),
             s.viewers,
             s.events_processed,
             s.cross_shard_messages,
             s.busy_ns as f64 / 1e9,
             s.barrier_wait_ns as f64 / 1e9,
+            s.utilization() * 100.0,
         );
     }
     telecast_bench::emit_with_wall(&outcome.figure, wall);

@@ -34,6 +34,12 @@ pub struct ScenarioArgs {
     /// [`telecast_sim::default_parallelism`] when unset; the output is
     /// thread-count-independent, so this is purely a wall-clock knob.
     pub threads: Option<usize>,
+    /// `--epoch-secs E`: barrier period of sharded runtimes in simulated
+    /// seconds. Like `--threads`, the output never depends on it being
+    /// *expressible* — but unlike `--threads` it is a simulation knob:
+    /// it moves when cross-shard effects apply, so different values
+    /// produce different (each internally deterministic) runs.
+    pub epoch_secs: Option<u64>,
     /// `--tenants M`: concurrent tenant broadcasts sharing the pools
     /// (multi-tenant scenarios only).
     pub tenants: Option<u32>,
@@ -112,6 +118,16 @@ impl ScenarioArgs {
                     }
                     out.threads = Some(n);
                 }
+                "--epoch-secs" => {
+                    let v = next_value(&mut args, "--epoch-secs")?;
+                    let n: u64 = parse_num(&v, "--epoch-secs")?;
+                    // ShardedSession::new asserts a non-zero epoch; catch
+                    // it here with a usage error like `--viewers 0`.
+                    if n == 0 {
+                        return Err("--epoch-secs must be positive".into());
+                    }
+                    out.epoch_secs = Some(n);
+                }
                 "--tenants" => {
                     let v = next_value(&mut args, "--tenants")?;
                     let n: u32 = parse_num(&v, "--tenants")?;
@@ -149,7 +165,7 @@ impl ScenarioArgs {
                                  --backend dense|coordinate|auto, --seed S, \
                                  --churn-pct P, --pool-mbps N, --autoscale, \
                                  --predictive, --per-region, --threads N, \
-                                 --tenants M, --zipf S)"
+                                 --epoch-secs E, --tenants M, --zipf S)"
                             ))
                         }
                     }
@@ -221,6 +237,8 @@ mod tests {
             "--per-region",
             "--threads",
             "4",
+            "--epoch-secs",
+            "30",
         ])
         .unwrap();
         assert_eq!(args.viewers, Some(20_000));
@@ -233,6 +251,18 @@ mod tests {
         assert!(args.predictive);
         assert!(args.per_region);
         assert_eq!(args.threads, Some(4));
+        assert_eq!(args.epoch_secs, Some(30));
+    }
+
+    #[test]
+    fn epoch_secs_shares_the_viewers_validation_parity() {
+        assert_eq!(parse(&["--epoch-secs", "2"]).unwrap().epoch_secs, Some(2));
+        assert_eq!(parse(&[]).unwrap().epoch_secs, None);
+        // `--epoch-secs 0` is rejected exactly like `--viewers 0` — a
+        // zero epoch would trip ShardedSession::new's assert downstream.
+        assert!(parse(&["--epoch-secs", "0"]).is_err());
+        assert!(parse(&["--epoch-secs"]).is_err());
+        assert!(parse(&["--epoch-secs", "soon"]).is_err());
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod harness;
 pub mod json;
 pub mod mega;
 pub mod spike;
+pub mod sweep;
 pub mod table;
 pub mod tenancy;
 
@@ -29,6 +30,7 @@ pub use gate::{GateBaseline, MetricCheck, ScenarioBaseline};
 pub use harness::{run_scenario, RunResult, Scenario};
 pub use mega::{run_mega, MegaOutcome, MegaScenario};
 pub use spike::{run_spike, SpikeOutcome, SpikeScenario};
+pub use sweep::{run_epoch_sweep, sweep_figure, SweepCell, SweepScenario};
 pub use table::{FigureData, Series};
 pub use tenancy::{
     run_tenant_mix, tenant_config, tenant_quota, zipf_split, TenantMixOutcome, TenantMixScenario,

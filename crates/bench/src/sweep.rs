@@ -1,0 +1,236 @@
+//! The epoch-length × worker-count sweep over the sharded mega-storm
+//! workload.
+//!
+//! The barrier period is the sharded runtime's central trade-off: short
+//! epochs tighten cross-shard spill latency but pay the barrier (and its
+//! imbalance) more often, long epochs amortise the barrier but batch the
+//! merge. This sweep runs the same mega-storm workload at every
+//! `(epoch length, threads)` grid point and exports, per epoch length,
+//! the wall-clock, pool barrier-utilization, and cross-shard
+//! merge-volume series over the thread counts — making the
+//! merge-latency/parallelism frontier a committed artifact
+//! (`results/epoch_sweep.json`).
+//!
+//! Merge volume is deterministic per `(seed, epoch length)` and
+//! thread-count-independent, which is what the bench gate pins; the
+//! wall-clock and utilization series are machine-local measurements.
+
+use std::time::Instant;
+
+use crate::mega::{run_mega, MegaScenario};
+use crate::table::{FigureData, Series};
+use telecast::DelayModelChoice;
+
+/// Parameters of one epoch sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepScenario {
+    /// Target steady-state population per grid point.
+    pub viewers: usize,
+    /// Simulated minutes per grid point.
+    pub minutes: u64,
+    /// Fraction of the population churning per minute.
+    pub churn_per_minute: f64,
+    /// Delay substrate shared by every grid point.
+    pub backend: DelayModelChoice,
+    /// Master seed shared by every grid point.
+    pub seed: u64,
+    /// Barrier periods to sweep, in simulated seconds.
+    pub epochs_secs: Vec<u64>,
+    /// Worker counts to sweep.
+    pub threads: Vec<usize>,
+}
+
+impl Default for SweepScenario {
+    fn default() -> Self {
+        SweepScenario {
+            viewers: 100_000,
+            minutes: 10,
+            churn_per_minute: 0.01,
+            backend: DelayModelChoice::Coordinate,
+            seed: MegaScenario::default().seed,
+            epochs_secs: vec![2, 10, 30],
+            threads: vec![1, 2, 4],
+        }
+    }
+}
+
+/// One measured grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCell {
+    /// Barrier period in simulated seconds.
+    pub epoch_secs: u64,
+    /// Worker threads the five shards were mapped onto.
+    pub threads: usize,
+    /// Wall-clock seconds of the run (machine-local).
+    pub wall_seconds: f64,
+    /// Pool barrier utilization: total shard busy time over total shard
+    /// epoch wall (busy + barrier wait), across all shards. 1.0 means no
+    /// shard ever idled at a barrier (machine-local).
+    pub barrier_utilization: f64,
+    /// Utilization of the single most barrier-bound shard — the ~85%
+    /// idle Oceania number the worker pool exists to shrink
+    /// (machine-local).
+    pub min_shard_utilization: f64,
+    /// Cross-shard messages merged over the run. Deterministic per
+    /// `(seed, epoch_secs)` and independent of `threads`.
+    pub merge_volume: u64,
+}
+
+/// Runs every grid point sequentially (each point parallelises
+/// internally over its own shard pool) and returns the cells in
+/// epoch-major, thread-minor order.
+pub fn run_epoch_sweep(scenario: &SweepScenario) -> Vec<SweepCell> {
+    let mut cells = Vec::with_capacity(scenario.epochs_secs.len() * scenario.threads.len());
+    for &epoch_secs in &scenario.epochs_secs {
+        for &threads in &scenario.threads {
+            let mega = MegaScenario {
+                viewers: scenario.viewers,
+                minutes: scenario.minutes,
+                churn_per_minute: scenario.churn_per_minute,
+                backend: scenario.backend,
+                seed: scenario.seed,
+                threads,
+                epoch_secs,
+                ..MegaScenario::default()
+            };
+            let started = Instant::now();
+            let outcome = run_mega(&mega);
+            let wall_seconds = started.elapsed().as_secs_f64();
+            let busy: u64 = outcome.shard_stats.iter().map(|s| s.busy_ns).sum();
+            let wall: u64 = outcome
+                .shard_stats
+                .iter()
+                .map(|s| s.busy_ns + s.barrier_wait_ns)
+                .sum();
+            let barrier_utilization = if wall == 0 {
+                0.0
+            } else {
+                busy as f64 / wall as f64
+            };
+            let min_shard_utilization = outcome
+                .shard_stats
+                .iter()
+                .map(|s| s.utilization())
+                .fold(f64::INFINITY, f64::min)
+                .min(1.0);
+            cells.push(SweepCell {
+                epoch_secs,
+                threads,
+                wall_seconds,
+                barrier_utilization,
+                min_shard_utilization,
+                merge_volume: outcome.cross_shard_messages,
+            });
+        }
+    }
+    cells
+}
+
+/// Collapses the sweep cells into the exported figure: per epoch length,
+/// one wall-clock, one barrier-utilization, and one merge-volume series
+/// over the swept thread counts (x = threads).
+pub fn sweep_figure(scenario: &SweepScenario, cells: &[SweepCell]) -> FigureData {
+    let mut series = Vec::new();
+    for &epoch_secs in &scenario.epochs_secs {
+        let of_epoch = |f: &dyn Fn(&SweepCell) -> f64| -> Vec<(f64, f64)> {
+            cells
+                .iter()
+                .filter(|c| c.epoch_secs == epoch_secs)
+                .map(|c| (c.threads as f64, f(c)))
+                .collect()
+        };
+        series.push(Series::new(
+            format!("wall_seconds_e{epoch_secs}s"),
+            of_epoch(&|c| c.wall_seconds),
+        ));
+        series.push(Series::new(
+            format!("barrier_utilization_e{epoch_secs}s"),
+            of_epoch(&|c| c.barrier_utilization),
+        ));
+        series.push(Series::new(
+            format!("min_shard_utilization_e{epoch_secs}s"),
+            of_epoch(&|c| c.min_shard_utilization),
+        ));
+        series.push(Series::new(
+            format!("merge_volume_e{epoch_secs}s"),
+            of_epoch(&|c| c.merge_volume as f64),
+        ));
+    }
+    FigureData {
+        id: "epoch_sweep".into(),
+        title: format!(
+            "Epoch sweep: {} viewers, {:.1}%/min churn, {} simulated minutes; epochs {:?}s × threads {:?} ({:?} backend)",
+            scenario.viewers,
+            scenario.churn_per_minute * 100.0,
+            scenario.minutes,
+            scenario.epochs_secs,
+            scenario.threads,
+            scenario.backend,
+        ),
+        x_label: "worker threads".into(),
+        y_label: "seconds (wall) / ratio (utilization) / messages (merge volume)".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SweepScenario {
+        SweepScenario {
+            viewers: 600,
+            minutes: 2,
+            churn_per_minute: 0.1,
+            backend: DelayModelChoice::Dense,
+            seed: 11,
+            epochs_secs: vec![5, 30],
+            threads: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_in_epoch_major_order() {
+        let scenario = small();
+        let cells = run_epoch_sweep(&scenario);
+        let grid: Vec<(u64, usize)> = cells.iter().map(|c| (c.epoch_secs, c.threads)).collect();
+        assert_eq!(grid, vec![(5, 1), (5, 2), (30, 1), (30, 2)]);
+        for c in &cells {
+            assert!(c.wall_seconds > 0.0);
+            assert!((0.0..=1.0).contains(&c.barrier_utilization), "{c:?}");
+            assert!(c.min_shard_utilization <= c.barrier_utilization + 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_volume_is_thread_independent_but_epoch_dependent() {
+        let cells = run_epoch_sweep(&small());
+        // Same epoch, different threads: identical (determinism).
+        assert_eq!(cells[0].merge_volume, cells[1].merge_volume);
+        assert_eq!(cells[2].merge_volume, cells[3].merge_volume);
+    }
+
+    #[test]
+    fn figure_carries_one_series_set_per_epoch_length() {
+        let scenario = small();
+        let cells = run_epoch_sweep(&scenario);
+        let figure = sweep_figure(&scenario, &cells);
+        let labels: Vec<&str> = figure.series.iter().map(|s| s.label.as_str()).collect();
+        for e in [5, 30] {
+            for stem in [
+                "wall_seconds",
+                "barrier_utilization",
+                "min_shard_utilization",
+                "merge_volume",
+            ] {
+                let label = format!("{stem}_e{e}s");
+                assert!(labels.contains(&label.as_str()), "missing {label}");
+            }
+        }
+        // Each series has one point per swept thread count, x = threads.
+        for s in &figure.series {
+            let xs: Vec<f64> = s.points.iter().map(|&(x, _)| x).collect();
+            assert_eq!(xs, vec![1.0, 2.0], "{}", s.label);
+        }
+    }
+}

@@ -46,9 +46,9 @@ pub use cost::{CostModel, ProvisionedMeter, TrafficMeter};
 pub use distribution::{Distribution, IngestStats};
 pub use server::{EdgeServer, ServerId};
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use telecast_sim::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 use telecast_media::StreamId;
@@ -204,7 +204,7 @@ pub struct Cdn {
     /// Active (non-retired) edge ids per region, in [`Region::ALL`]
     /// order — the O(1) region lookup behind [`Cdn::serve`].
     region_active: Vec<Vec<ServerId>>,
-    leases: HashMap<CdnLease, (StreamId, Bandwidth, ServerId, usize)>,
+    leases: FxHashMap<CdnLease, (StreamId, Bandwidth, ServerId, usize)>,
     next_lease: u64,
     meter: TrafficMeter,
     /// Provisioned-capacity meters, one per pool slot.
@@ -221,7 +221,7 @@ impl Cdn {
             pools: slots.iter().map(|&cap| CapacityAccount::new(cap)).collect(),
             edges: Vec::new(),
             region_active: vec![Vec::new(); Region::ALL.len()],
-            leases: HashMap::new(),
+            leases: FxHashMap::default(),
             next_lease: 0,
             meter: TrafficMeter::new(CostModel::per_gb(config.dollars_per_gb)),
             provisioned: slots

@@ -1,7 +1,7 @@
 //! CDN edge servers.
 
-use std::collections::HashMap;
 use std::fmt;
+use telecast_sim::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 use telecast_media::StreamId;
@@ -40,7 +40,7 @@ impl fmt::Display for ServerId {
 pub struct EdgeServer {
     id: ServerId,
     region: Region,
-    sessions: HashMap<StreamId, u32>,
+    sessions: FxHashMap<StreamId, u32>,
     /// Maintained total of active sessions — kept in sync with the
     /// per-stream map so [`EdgeServer::session_count`] is O(1) instead of
     /// a sum over every stream on every lease operation.
@@ -55,7 +55,7 @@ impl EdgeServer {
         EdgeServer {
             id,
             region,
-            sessions: HashMap::new(),
+            sessions: FxHashMap::default(),
             session_total: 0,
             load: Bandwidth::ZERO,
             retired: false,

@@ -16,7 +16,9 @@
 //! All stochastic inputs derive from the configured seed; two sessions
 //! with equal configuration and workload produce identical metrics.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
+
+use telecast_sim::{FxHashMap, FxHashSet};
 
 use telecast_cdn::{Autoscaler, CapacityBroker, ScaleDirection, TenantHandle};
 use telecast_media::{PrioritizedStream, StreamId, ViewCatalog, ViewId};
@@ -196,8 +198,8 @@ impl SessionBuilder {
             GroupScope::Global => 1,
         };
 
-        let mut stream_bw = HashMap::new();
-        let mut stream_fps = HashMap::new();
+        let mut stream_bw = FxHashMap::default();
+        let mut stream_fps = FxHashMap::default();
         for site in &config.sites {
             for s in site.streams() {
                 stream_bw.insert(s.id, Bandwidth::from_kbps(s.bitrate_kbps));
@@ -230,9 +232,9 @@ impl SessionBuilder {
             lsc_nodes,
             edge_nodes,
             scopes: (0..scope_count).map(|_| GroupTable::new()).collect(),
-            random_trees: HashMap::new(),
-            random_receivers: HashMap::new(),
-            random_edge_parent: HashMap::new(),
+            random_trees: FxHashMap::default(),
+            random_receivers: FxHashMap::default(),
+            random_edge_parent: FxHashMap::default(),
             viewers,
             viewer_pool,
             stream_bw,
@@ -251,8 +253,8 @@ impl SessionBuilder {
             arrival_demand_kbps: vec![0; pool_slots],
             prev_used_kbps: vec![0; pool_slots],
             pending_forecasts: (0..pool_slots).map(|_| VecDeque::new()).collect(),
-            retry_parked: HashSet::new(),
-            retry_counts: HashMap::new(),
+            retry_parked: FxHashSet::default(),
+            retry_counts: FxHashMap::default(),
             connected_count: 0,
             shard: None,
             config,
@@ -326,16 +328,16 @@ pub struct TelecastSession {
     /// Group tables, one per scope (region or global).
     scopes: Vec<GroupTable>,
     /// Global per-stream trees used by the Random baseline (no grouping).
-    random_trees: HashMap<StreamId, StreamTree>,
+    random_trees: FxHashMap<StreamId, StreamTree>,
     /// Receivers of each stream (Random baseline candidate index).
-    random_receivers: HashMap<StreamId, Vec<NodeId>>,
+    random_receivers: FxHashMap<StreamId, Vec<NodeId>>,
     /// Per-edge outbound reservations of the Random baseline:
     /// (child, stream) → parent that holds the reservation.
-    random_edge_parent: HashMap<(NodeId, StreamId), NodeId>,
+    random_edge_parent: FxHashMap<(NodeId, StreamId), NodeId>,
     viewers: BTreeMap<NodeId, ViewerState>,
     viewer_pool: Vec<NodeId>,
-    stream_bw: HashMap<StreamId, Bandwidth>,
-    stream_fps: HashMap<StreamId, u32>,
+    stream_bw: FxHashMap<StreamId, Bandwidth>,
+    stream_fps: FxHashMap<StreamId, u32>,
     metrics: SessionMetrics,
     rng: SimRng,
     adaptation_armed: bool,
@@ -370,10 +372,10 @@ pub struct TelecastSession {
     pending_forecasts: Vec<VecDeque<(SimTime, f64)>>,
     /// Members of the retry queue that are still eligible (a churn dwell
     /// expiry unparks its viewer — the pool owns it again from then on).
-    retry_parked: HashSet<NodeId>,
+    retry_parked: FxHashSet<NodeId>,
     /// Retries spent per viewer since its last admission or dwell
     /// expiry; parking stops at [`JOIN_RETRY_CAP`].
-    retry_counts: HashMap<NodeId, u32>,
+    retry_counts: FxHashMap<NodeId, u32>,
     /// Maintained count of viewers in [`ViewerStatus::Connected`] — the
     /// population the monitor samples without scanning the pool.
     connected_count: usize,
@@ -2532,7 +2534,7 @@ impl TelecastSession {
     /// along the affected subtrees until quiescent.
     fn propagate_resync(&mut self, view: ViewId, scope: usize, seeds: Vec<NodeId>) {
         let mut queue: std::collections::VecDeque<NodeId> = seeds.into_iter().collect();
-        let mut visits: HashMap<NodeId, usize> = HashMap::new();
+        let mut visits: FxHashMap<NodeId, usize> = FxHashMap::default();
         while let Some(w) = queue.pop_front() {
             let count = visits.entry(w).or_insert(0);
             *count += 1;
@@ -2547,13 +2549,12 @@ impl TelecastSession {
             self.metrics
                 .subscription_messages
                 .add(changed_streams.len() as u64);
-            for sid in &changed_streams {
-                let children: Vec<NodeId> = self.scopes[scope]
-                    .group(view)
-                    .and_then(|g| g.tree(*sid))
-                    .map(|t| t.children_of(w).collect())
-                    .unwrap_or_default();
-                queue.extend(children);
+            if let Some(g) = self.scopes[scope].group(view) {
+                for sid in &changed_streams {
+                    if let Some(t) = g.tree(*sid) {
+                        queue.extend(t.children_of(w));
+                    }
+                }
             }
             // A change (e.g. a §VI CDN reroute) shifts this viewer's own
             // push-down baseline: revisit once more to reach a fixpoint.
@@ -2574,11 +2575,14 @@ impl TelecastSession {
         }
         // Pass 1: read current parents from the trees, recompute base
         // delays (CDN-parented streams keep their stored delay — victims
-        // stay at their layer).
-        let mut plan: Vec<(StreamId, TreeParent, SimDuration, u64)> = Vec::new();
+        // stay at their layer). Each entry starts at its natural layer
+        // with effective delay = base; layering adjusts both below.
+        let group = self.scopes[scope].group(view);
+        let now = self.engine.now();
+        let mut finals: Vec<(StreamId, TreeParent, SimDuration, u64, SimDuration, bool)> =
+            Vec::with_capacity(state.subs.len());
         for (&sid, sub) in &state.subs {
-            let tree_parent = self.scopes[scope]
-                .group(view)
+            let tree_parent = group
                 .and_then(|g| g.tree(sid))
                 .and_then(|t| t.parent_of(viewer))
                 .unwrap_or(sub.parent);
@@ -2591,20 +2595,15 @@ impl TelecastSession {
                         .and_then(|pv| pv.subs.get(&sid))
                         .map(|ps| ps.e2e)
                         .unwrap_or(self.scheme.delta());
-                    let d = pe2e
-                        + self.delays.one_way(self.engine.now(), p, viewer)
-                        + self.config.hop_processing;
+                    let d = pe2e + self.delays.one_way(now, p, viewer) + self.config.hop_processing;
                     (d, tree_parent)
                 }
             };
-            plan.push((sid, parent, base, self.scheme.layer_of_delay(base)));
+            let layer = self.scheme.layer_of_delay(base);
+            finals.push((sid, parent, base, layer, base, false));
         }
         // Effective delays: layer push-down plus the residual delayed
         // receive that makes the dbuff bound exact (see process_join).
-        let mut finals: Vec<(StreamId, TreeParent, SimDuration, u64, SimDuration, bool)> = plan
-            .iter()
-            .map(|&(sid, parent, base, layer)| (sid, parent, base, layer, base, false))
-            .collect();
         if self.config.layering_enabled {
             let mut layers: Vec<u64> = finals.iter().map(|&(_, _, _, l, _, _)| l).collect();
             self.scheme.push_down(&mut layers);
@@ -2797,13 +2796,16 @@ impl TelecastSession {
         self.engine.events_fired()
     }
 
-    /// Drains the cross-shard outbox (empty on the legacy path).
-    pub(crate) fn shard_take_outbox(
+    /// Drains the cross-shard outbox into `buf` by swapping buffers, so
+    /// the per-epoch drain reuses one allocation per shard (see
+    /// [`telecast_sim::Outbox::take_into`]). No-op on the legacy path.
+    pub(crate) fn shard_take_outbox_into(
         &mut self,
-    ) -> Vec<telecast_sim::OutboxEntry<crate::shard::ShardMessage>> {
+        buf: &mut Vec<telecast_sim::OutboxEntry<crate::shard::ShardMessage>>,
+    ) {
         match &mut self.shard {
-            Some(state) => state.outbox.take(),
-            None => Vec::new(),
+            Some(state) => state.outbox.take_into(buf),
+            None => buf.clear(),
         }
     }
 

@@ -3,8 +3,10 @@
 //!
 //! A [`ShardedSession`] splits the global viewer population into one
 //! [`TelecastSession`] per [`Region`] (the same five-way split the
-//! per-region CDN pools use), runs the shards on worker threads, and
-//! synchronises them at a **time-epoch barrier**: every shard advances
+//! per-region CDN pools use), runs the shards on a persistent
+//! [`WorkerPool`] (threads spawned once for the session's lifetime,
+//! epochs dispatched longest-predicted-first from an EWMA cost model),
+//! and synchronises them at a **time-epoch barrier**: every shard advances
 //! its own event loop to the epoch boundary, cross-shard effects are
 //! collected into per-shard outboxes, and the coordinator merges the
 //! outboxes in the canonical `(time, shard_id, seq)` order before
@@ -29,8 +31,7 @@
 //! are observability only — they never feed back into simulation state,
 //! so they do not perturb determinism.
 
-use std::collections::{BTreeMap, HashSet};
-use std::time::Instant;
+use std::collections::BTreeMap;
 
 use std::sync::Arc;
 
@@ -40,8 +41,8 @@ use telecast_cdn::{
 use telecast_media::ViewId;
 use telecast_net::{NodeId, Region};
 use telecast_sim::{
-    merge_outboxes, parallel_map_with, EpochSchedule, Outbox, OutboxEntry, SimDuration, SimTime,
-    TimeSeries,
+    merge_outboxes_into, EpochSchedule, FxHashSet, Outbox, OutboxEntry, SimDuration, SimTime,
+    TimeSeries, WorkerPool,
 };
 
 use crate::config::SessionConfig;
@@ -100,7 +101,7 @@ pub(crate) struct ShardState {
     pub(crate) foreign: BTreeMap<NodeId, ForeignServe>,
     /// Viewers with a spill request in flight (emitted but not yet
     /// answered at a barrier) — guards against duplicate requests.
-    pub(crate) spill_pending: HashSet<NodeId>,
+    pub(crate) spill_pending: FxHashSet<NodeId>,
 }
 
 impl ShardState {
@@ -109,7 +110,7 @@ impl ShardState {
             region,
             outbox: Outbox::new(id),
             foreign: BTreeMap::new(),
-            spill_pending: HashSet::new(),
+            spill_pending: FxHashSet::default(),
         }
     }
 }
@@ -139,6 +140,21 @@ pub struct ShardStats {
     pub peak_event_queue: u64,
 }
 
+impl ShardStats {
+    /// Fraction of the runtime's epoch wall-clock this shard spent
+    /// executing rather than idling at barriers:
+    /// `busy / (busy + barrier wait)`. Wall-clock observability only —
+    /// varies run to run. `0.0` before the first epoch.
+    pub fn utilization(&self) -> f64 {
+        let wall = self.busy_ns + self.barrier_wait_ns;
+        if wall == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / wall as f64
+        }
+    }
+}
+
 /// The sharded session runtime: five per-region [`TelecastSession`]
 /// event loops advancing in lock-step time epochs on a worker pool, with
 /// cross-shard effects merged deterministically at each barrier.
@@ -159,11 +175,23 @@ pub struct ShardStats {
 /// ```
 pub struct ShardedSession {
     shards: Vec<TelecastSession>,
+    /// Persistent worker pool: threads are spawned once here and reused
+    /// by every epoch. Jobs are dispatched longest-predicted-first (an
+    /// EWMA of each shard's measured busy time), which shortens the
+    /// barrier without touching the output — results land by shard
+    /// index, never by worker identity.
+    pool: WorkerPool<TelecastSession, SimTime>,
     epoch: SimDuration,
     threads: usize,
     now: SimTime,
     stats: Vec<ShardStats>,
     spill_denied: u64,
+    /// Reused per-shard outbox drain buffers ([`Outbox::take_into`]
+    /// swaps allocations, so steady-state epochs drain without
+    /// allocating).
+    drain_bufs: Vec<Vec<OutboxEntry<ShardMessage>>>,
+    /// Reused k-way merge output buffer.
+    merge_buf: Vec<OutboxEntry<ShardMessage>>,
 }
 
 impl ShardedSession {
@@ -241,13 +269,24 @@ impl ShardedSession {
                 peak_event_queue: 0,
             });
         }
+        let shard_count = shards.len();
+        let pool = WorkerPool::new(
+            shard_count,
+            threads,
+            |_, shard: &mut TelecastSession, end| {
+                shard.run_until(*end);
+            },
+        );
         ShardedSession {
             shards,
+            pool,
             epoch,
             threads,
             now: SimTime::ZERO,
             stats,
             spill_denied: 0,
+            drain_bufs: (0..shard_count).map(|_| Vec::new()).collect(),
+            merge_buf: Vec::new(),
         }
     }
 
@@ -286,30 +325,25 @@ impl ShardedSession {
     }
 
     fn run_epoch(&mut self, epoch_end: SimTime) {
-        let shards = std::mem::take(&mut self.shards);
-        let ran = parallel_map_with(shards, self.threads, |mut shard| {
-            let started = Instant::now();
-            shard.run_until(epoch_end);
-            let busy_ns = started.elapsed().as_nanos() as u64;
-            (shard, busy_ns)
-        });
-        let slowest = ran.iter().map(|&(_, ns)| ns).max().unwrap_or(0);
-        for (id, (shard, busy_ns)) in ran.into_iter().enumerate() {
+        self.pool.run_epoch(&mut self.shards, epoch_end);
+        let busy = self.pool.last_busy_ns();
+        let slowest = busy.iter().copied().max().unwrap_or(0);
+        for (id, &busy_ns) in busy.iter().enumerate() {
             self.stats[id].busy_ns += busy_ns;
             self.stats[id].barrier_wait_ns += slowest - busy_ns;
-            self.shards.push(shard);
         }
         self.now = epoch_end;
 
-        let outboxes: Vec<Vec<OutboxEntry<ShardMessage>>> = self
-            .shards
-            .iter_mut()
-            .map(|s| s.shard_take_outbox())
-            .collect();
-        for entry in merge_outboxes(outboxes) {
+        for (shard, buf) in self.shards.iter_mut().zip(self.drain_bufs.iter_mut()) {
+            shard.shard_take_outbox_into(buf);
+        }
+        let mut merged = std::mem::take(&mut self.merge_buf);
+        merge_outboxes_into(&mut self.drain_bufs, &mut merged);
+        for entry in merged.drain(..) {
             self.stats[entry.from].cross_shard_messages += 1;
             self.apply(entry);
         }
+        self.merge_buf = merged;
         for (id, shard) in self.shards.iter().enumerate() {
             self.stats[id].events_processed = shard.events_processed();
             self.stats[id].peak_event_queue = shard.metrics().peak_event_queue;

@@ -8,9 +8,9 @@
 //! [`TraceMatrix`], a loader for the original `src dst rtt_ms` text format
 //! so a real trace can be substituted without code changes.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use telecast_sim::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 use telecast_sim::{SimDuration, SimRng, SimTime};
@@ -156,7 +156,7 @@ impl Error for TraceParseError {}
 /// to the median of all measured delays.
 #[derive(Debug, Clone, Default)]
 pub struct TraceMatrix {
-    one_way_us: HashMap<(u32, u32), u64>,
+    one_way_us: FxHashMap<(u32, u32), u64>,
     fallback_us: u64,
 }
 
@@ -168,7 +168,7 @@ impl TraceMatrix {
     ///
     /// Returns [`TraceParseError`] on malformed lines or non-finite RTTs.
     pub fn parse(text: &str) -> Result<Self, TraceParseError> {
-        let mut sums: HashMap<(u32, u32), (f64, u32)> = HashMap::new();
+        let mut sums: FxHashMap<(u32, u32), (f64, u32)> = FxHashMap::default();
         for (idx, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -209,7 +209,7 @@ impl TraceMatrix {
             entry.0 += rtt;
             entry.1 += 1;
         }
-        let mut one_way_us = HashMap::new();
+        let mut one_way_us = FxHashMap::default();
         let mut all: Vec<u64> = Vec::new();
         for ((src, dst), (sum, count)) in sums {
             let us = (sum / count as f64 / 2.0 * 1_000.0) as u64;

@@ -6,7 +6,9 @@
 //! view; the [`GroupTable`] maps views to groups and viewers to the group
 //! they are in.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+
+use telecast_sim::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 use telecast_media::{StreamId, ViewId};
@@ -19,7 +21,7 @@ use crate::tree::StreamTree;
 pub struct ViewGroup {
     view: ViewId,
     members: BTreeSet<NodeId>,
-    trees: HashMap<StreamId, StreamTree>,
+    trees: FxHashMap<StreamId, StreamTree>,
 }
 
 impl ViewGroup {
@@ -91,8 +93,8 @@ impl ViewGroup {
 /// The LSC's table of view groups.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct GroupTable {
-    groups: HashMap<ViewId, ViewGroup>,
-    membership: HashMap<NodeId, ViewId>,
+    groups: FxHashMap<ViewId, ViewGroup>,
+    membership: FxHashMap<NodeId, ViewId>,
 }
 
 impl GroupTable {

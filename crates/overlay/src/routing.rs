@@ -6,7 +6,7 @@
 //! subscription point (the position in the local buffer/cache from which
 //! that child is fed).
 
-use std::collections::HashMap;
+use telecast_sim::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 use telecast_media::{FrameNumber, StreamId};
@@ -76,7 +76,7 @@ impl RouteEntry {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct SessionRoutingTable {
-    entries: HashMap<(StreamId, NodeId), RouteEntry>,
+    entries: FxHashMap<(StreamId, NodeId), RouteEntry>,
 }
 
 impl SessionRoutingTable {

@@ -33,7 +33,9 @@
 //! `O(levels · log n)` instead of `O(n)`; [`StreamTree::attach_probes`]
 //! counts the level probes so scale tests can assert the bound.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
+
+use telecast_sim::FxHashMap;
 
 use serde::{Deserialize, Serialize};
 use telecast_media::StreamId;
@@ -99,7 +101,7 @@ enum AttachPlan {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StreamTree {
     stream: StreamId,
-    nodes: HashMap<NodeId, TreeNode>,
+    nodes: FxHashMap<NodeId, TreeNode>,
     cdn_children: BTreeSet<NodeId>,
     /// Members with at least one free forwarding slot, maintained on
     /// every attach/detach/remove so the per-join supply checks are
@@ -137,7 +139,7 @@ impl StreamTree {
     pub fn new(stream: StreamId) -> Self {
         StreamTree {
             stream,
-            nodes: HashMap::new(),
+            nodes: FxHashMap::default(),
             cdn_children: BTreeSet::new(),
             free_slots: BTreeSet::new(),
             strengths: BTreeSet::new(),
@@ -774,7 +776,7 @@ impl StreamTree {
     /// members, level free-slots) match a from-scratch recomputation.
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut reachable: BTreeSet<NodeId> = BTreeSet::new();
-        let mut depths: HashMap<NodeId, usize> = HashMap::new();
+        let mut depths: FxHashMap<NodeId, usize> = FxHashMap::default();
         let mut stack: Vec<(NodeId, usize)> = Vec::new();
         for &c in &self.cdn_children {
             let node = self

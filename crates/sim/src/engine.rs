@@ -5,7 +5,9 @@
 //! turn makes every experiment reproducible from its seed alone.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
+
+use crate::hash::FxHashSet;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -80,7 +82,7 @@ impl<E> Ord for Entry<E> {
 pub struct Engine<E> {
     now: SimTime,
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<EventId>,
+    cancelled: FxHashSet<EventId>,
     next_seq: u64,
     popped: u64,
     peak_pending: usize,
@@ -108,7 +110,7 @@ impl<E> Engine<E> {
         Engine {
             now: SimTime::ZERO,
             heap: BinaryHeap::with_capacity(capacity),
-            cancelled: HashSet::new(),
+            cancelled: FxHashSet::default(),
             next_seq: 0,
             popped: 0,
             peak_pending: 0,

@@ -1,0 +1,155 @@
+//! A deterministic, high-throughput hasher for simulation-internal maps.
+//!
+//! `std::collections::HashMap`'s default [`RandomState`] seeds SipHash
+//! per process. The simulator's output is byte-identical across runs
+//! *despite* that per-process randomisation — the committed artifacts
+//! prove map iteration order never leaks into results — so the hasher
+//! is free to be anything. [`FxHasher`] (the multiply-xor hash used by
+//! rustc's `FxHashMap`, reimplemented here because this crate carries
+//! no dependencies) is several times faster than SipHash on the short
+//! integer keys that dominate the hot paths (node ids, stream ids,
+//! coordinate pairs), and — being seedless — makes iteration order
+//! reproducible across runs as a bonus.
+//!
+//! Not DoS-resistant by design: these maps are keyed by simulator
+//! internals, never by untrusted input.
+//!
+//! [`RandomState`]: std::collections::hash_map::RandomState
+//!
+//! ```
+//! use telecast_sim::FxHashMap;
+//!
+//! let mut degrees: FxHashMap<u64, u32> = FxHashMap::default();
+//! degrees.insert(7, 3);
+//! assert_eq!(degrees[&7], 3);
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by [`FxHasher`] — drop-in for `std::HashMap` on
+/// hot simulator paths.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// 64-bit multiply-rotate hash (the rustc `FxHasher` construction):
+/// each word is folded in with an xor, a rotate, and a multiply by a
+/// pilot constant derived from π.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// `floor(2^64 / π)`, the odd multiplier rustc's FxHasher uses.
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_ne_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_ne_bytes(tail) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&(3u32, 9u32)), hash_of(&(3u32, 9u32)));
+        assert_eq!(hash_of(&"stream-7"), hash_of(&"stream-7"));
+    }
+
+    #[test]
+    fn nearby_keys_scatter() {
+        let hashes: std::collections::BTreeSet<u64> = (0..1000u64).map(|k| hash_of(&k)).collect();
+        assert_eq!(hashes.len(), 1000, "dense small keys must not collide");
+    }
+
+    #[test]
+    fn byte_stream_tail_is_length_disambiguated() {
+        // Same padded word, different lengths → different hashes.
+        assert_ne!(hash_of(&[1u8, 0]), hash_of(&[1u8, 0, 0]));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut map: FxHashMap<u64, &str> = FxHashMap::default();
+        map.insert(1, "a");
+        map.insert(2, "b");
+        assert_eq!(map.get(&1), Some(&"a"));
+        assert_eq!(map.len(), 2);
+
+        let mut set: FxHashSet<(u32, u32)> = FxHashSet::default();
+        set.insert((1, 2));
+        assert!(set.contains(&(1, 2)));
+        assert!(!set.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn iteration_order_is_stable_for_identical_insertions() {
+        let build = || {
+            let mut map: FxHashMap<u64, u64> = FxHashMap::default();
+            for k in 0..500 {
+                map.insert(k * 17, k);
+            }
+            map.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build(), "seedless hash ⇒ reproducible order");
+    }
+}

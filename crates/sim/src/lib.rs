@@ -26,16 +26,20 @@
 //! ```
 
 mod engine;
+mod hash;
 mod parallel;
+mod pool;
 mod rng;
 mod shard;
 mod stats;
 mod time;
 
 pub use engine::{Engine, EventId, Fired};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use parallel::{default_parallelism, parallel_map, parallel_map_with};
+pub use pool::WorkerPool;
 pub use rng::{SampleRange, SampleUniform, SimRng};
-pub use shard::{merge_outboxes, EpochSchedule, Outbox, OutboxEntry};
+pub use shard::{merge_outboxes, merge_outboxes_into, EpochSchedule, Outbox, OutboxEntry};
 pub use stats::{
     empirical_cdf, merge_step_sum, Cdf, CdfPoint, Counter, Histogram, Summary, TimeSeries,
 };

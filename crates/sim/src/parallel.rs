@@ -16,7 +16,6 @@
 //! assert_eq!(doubled, (0..64).map(|x| x * 2).collect::<Vec<_>>());
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::thread;
 
@@ -41,10 +40,11 @@ where
 
 /// [`parallel_map`] with an explicit worker count.
 ///
-/// The output never depends on `threads`: each input index owns a result
-/// slot, workers claim indices from a shared atomic cursor, and the slots
-/// are read back in index order once every worker has finished. Passing
-/// `threads <= 1` runs the map inline on the caller's thread.
+/// The output never depends on `threads`: one mutex-guarded queue hands
+/// every `(index, item)` pair to exactly one worker, results come back
+/// index-stamped over a channel, and the pre-sized slots are read back
+/// in index order once every worker has finished. Passing `threads <= 1`
+/// runs the map inline on the caller's thread.
 ///
 /// # Panics
 ///
@@ -61,33 +61,24 @@ where
     }
     let threads = threads.min(n);
 
-    // Each job is taken exactly once (the cursor hands every index to one
-    // worker), so the per-job mutexes are never contended; they only make
-    // moving `T` out of the shared vector safe.
-    let jobs: Vec<Mutex<Option<T>>> = items
-        .into_iter()
-        .map(|item| Mutex::new(Some(item)))
-        .collect();
-    let cursor = AtomicUsize::new(0);
+    // One shared work queue: pulling the next `(index, item)` pair moves
+    // the item out under a lock held only for the pull, so no per-job
+    // wrapper is needed — ownership transfers through the iterator.
+    let queue = Mutex::new(items.into_iter().enumerate());
     let (sender, receiver) = mpsc::channel::<(usize, R)>();
 
     thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 let sender = sender.clone();
-                let jobs = &jobs;
-                let cursor = &cursor;
+                let queue = &queue;
                 let f = &f;
                 scope.spawn(move || loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= n {
+                    let Some((index, item)) =
+                        queue.lock().expect("work queue never poisoned").next()
+                    else {
                         break;
-                    }
-                    let item = jobs[index]
-                        .lock()
-                        .expect("job mutex never poisoned")
-                        .take()
-                        .expect("each job claimed exactly once");
+                    };
                     // The channel is unbounded, so workers never block on
                     // the collector and results can be drained after the
                     // scope.

@@ -109,6 +109,15 @@ impl<M> Outbox<M> {
     pub fn take(&mut self) -> Vec<OutboxEntry<M>> {
         std::mem::take(&mut self.entries)
     }
+
+    /// Drains the queued entries into `buf` by swapping buffers: `buf`
+    /// receives this epoch's entries and the outbox adopts `buf`'s
+    /// (cleared) allocation for the next epoch. Two buffers ping-pong
+    /// across epochs, so steady-state drains allocate nothing.
+    pub fn take_into(&mut self, buf: &mut Vec<OutboxEntry<M>>) {
+        buf.clear();
+        std::mem::swap(&mut self.entries, buf);
+    }
 }
 
 /// Merges per-shard outbox drains into the canonical global order.
@@ -117,15 +126,56 @@ impl<M> Outbox<M> {
 /// guarantees); the merged order is `(time, shard_id, seq)` — exactly the
 /// order a single global [`Engine`](crate::Engine) would have fired the
 /// same events in, had they been scheduled shard-by-shard.
-pub fn merge_outboxes<M>(boxes: Vec<Vec<OutboxEntry<M>>>) -> Vec<OutboxEntry<M>> {
-    let total = boxes.iter().map(Vec::len).sum();
-    let mut merged: Vec<OutboxEntry<M>> = Vec::with_capacity(total);
-    for entries in boxes {
-        merged.extend(entries);
-    }
-    // Stable sort on a total key; per-shard FIFO is preserved by `seq`.
-    merged.sort_by_key(|e| (e.at, e.from, e.seq));
+pub fn merge_outboxes<M>(mut boxes: Vec<Vec<OutboxEntry<M>>>) -> Vec<OutboxEntry<M>> {
+    let mut merged = Vec::new();
+    merge_outboxes_into(&mut boxes, &mut merged);
     merged
+}
+
+/// Allocation-recycling form of [`merge_outboxes`]: a k-way binary-heap
+/// merge over the already-sorted per-shard drains, `O(total · log k)`
+/// instead of flatten + `O(total · log total)` stable sort.
+///
+/// `merged` is cleared and refilled; every input vector is drained but
+/// keeps its capacity, so a caller that owns both sides reuses all
+/// buffers across epochs.
+///
+/// The order is exactly what a stable sort on `(at, from, seq)` over the
+/// concatenation would produce: the heap carries at most one head per
+/// input, keyed `(at, from, seq, input index)`, so entries of one input
+/// stay in input order and cross-input ties break on the earlier input —
+/// stable-sort semantics. Each input must already be sorted by
+/// `(at, from, seq)`, which [`Outbox::push`] guarantees for drains of a
+/// single outbox.
+pub fn merge_outboxes_into<M>(boxes: &mut [Vec<OutboxEntry<M>>], merged: &mut Vec<OutboxEntry<M>>) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    merged.clear();
+    let total = boxes.iter().map(Vec::len).sum();
+    merged.reserve(total);
+    // Consume each drain back-to-front via `pop` (which moves entries
+    // out while keeping the vector's capacity); reversing first makes
+    // the back the chronological head.
+    let mut heap: BinaryHeap<Reverse<(SimTime, usize, u64, usize)>> =
+        BinaryHeap::with_capacity(boxes.len());
+    for (i, entries) in boxes.iter_mut().enumerate() {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].key() <= w[1].key()),
+            "each merge input must be sorted by (time, shard, seq)"
+        );
+        entries.reverse();
+        if let Some(head) = entries.last() {
+            heap.push(Reverse((head.at, head.from, head.seq, i)));
+        }
+    }
+    while let Some(Reverse((_, _, _, i))) = heap.pop() {
+        let entry = boxes[i].pop().expect("heap head tracks a live entry");
+        merged.push(entry);
+        if let Some(next) = boxes[i].last() {
+            heap.push(Reverse((next.at, next.from, next.seq, i)));
+        }
+    }
 }
 
 /// The epoch boundaries of a sharded run: `start + epoch, start + 2·epoch,
