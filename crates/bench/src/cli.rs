@@ -45,6 +45,15 @@ pub struct ScenarioArgs {
     pub tenants: Option<u32>,
     /// `--zipf S`: Zipf exponent of the tenant audience-size split.
     pub zipf: Option<f64>,
+    /// `--views N`: selectable views in the catalog (camera count per
+    /// producer site; multi-view scenarios only).
+    pub views: Option<usize>,
+    /// `--zipf-view S`: Zipf exponent of view popularity (0 = uniform).
+    pub zipf_view: Option<f64>,
+    /// `--refocus-pct P`: percent of the audience hopping to the storm
+    /// target view during each correlated re-focus event (0 disables
+    /// the storms).
+    pub refocus_pct: Option<f64>,
 }
 
 impl ScenarioArgs {
@@ -150,6 +159,44 @@ impl ScenarioArgs {
                     }
                     out.zipf = Some(s);
                 }
+                "--views" => {
+                    let v = next_value(&mut args, "--views")?;
+                    let n: usize = parse_num(&v, "--views")?;
+                    // Zero views is as meaningless as zero viewers —
+                    // same parity check, same clean usage error.
+                    if n == 0 {
+                        return Err("--views must be positive".into());
+                    }
+                    out.views = Some(n);
+                }
+                "--zipf-view" => {
+                    let v = next_value(&mut args, "--zipf-view")?;
+                    let s: f64 = v
+                        .parse()
+                        .map_err(|_| format!("--zipf-view expects a number, got `{v}`"))?;
+                    // Unlike `--zipf` (an audience split, where 0
+                    // degenerates), a 0 view exponent is the uniform
+                    // choice — only negative or non-finite is invalid
+                    // (ViewPopularity::validate would panic downstream).
+                    if !(s >= 0.0 && s.is_finite()) {
+                        return Err(format!("--zipf-view must be a non-negative number: {s}"));
+                    }
+                    out.zipf_view = Some(s);
+                }
+                "--refocus-pct" => {
+                    let v = next_value(&mut args, "--refocus-pct")?;
+                    let pct: f64 = v
+                        .parse()
+                        .map_err(|_| format!("--refocus-pct expects a number, got `{v}`"))?;
+                    // RefocusEvent::validate rejects fractions outside
+                    // [0, 1]; catch the percent form here. 0 is a valid
+                    // storms-off setting (unlike `--churn-pct`, where a
+                    // zero rate trips ChurnSpec's asserts).
+                    if !(0.0..=100.0).contains(&pct) {
+                        return Err(format!("--refocus-pct out of [0, 100]: {pct}"));
+                    }
+                    out.refocus_pct = Some(pct);
+                }
                 other => {
                     // Bare positional integer = viewer count (the original
                     // `flash_crowd <N>` interface). The same positivity
@@ -165,7 +212,8 @@ impl ScenarioArgs {
                                  --backend dense|coordinate|auto, --seed S, \
                                  --churn-pct P, --pool-mbps N, --autoscale, \
                                  --predictive, --per-region, --threads N, \
-                                 --epoch-secs E, --tenants M, --zipf S)"
+                                 --epoch-secs E, --tenants M, --zipf S, \
+                                 --views N, --zipf-view S, --refocus-pct P)"
                             ))
                         }
                     }
@@ -313,6 +361,36 @@ mod tests {
         assert!(parse(&["--zipf", "inf"]).is_err());
         assert!(parse(&["--zipf", "nan"]).is_err());
         assert!(parse(&["--zipf"]).is_err());
+    }
+
+    #[test]
+    fn view_storm_flags_share_the_validation_parity() {
+        let args = parse(&["--views", "8", "--zipf-view", "1.1", "--refocus-pct", "40"]).unwrap();
+        assert_eq!(args.views, Some(8));
+        assert_eq!(args.zipf_view, Some(1.1));
+        assert_eq!(args.refocus_pct, Some(40.0));
+        assert_eq!(parse(&[]).unwrap().views, None);
+        // `--views 0` is rejected exactly like `--viewers 0`…
+        assert!(parse(&["--views", "0"]).is_err());
+        assert!(parse(&["--views"]).is_err());
+        assert!(parse(&["--views", "several"]).is_err());
+        // …`--zipf-view` allows the uniform 0 but nothing negative or
+        // non-finite (ViewPopularity::validate panics downstream)…
+        assert_eq!(parse(&["--zipf-view", "0"]).unwrap().zipf_view, Some(0.0));
+        assert!(parse(&["--zipf-view", "-0.5"]).is_err());
+        assert!(parse(&["--zipf-view", "inf"]).is_err());
+        assert!(parse(&["--zipf-view", "nan"]).is_err());
+        assert!(parse(&["--zipf-view"]).is_err());
+        // …and `--refocus-pct` is a fraction of the audience: [0, 100],
+        // with 0 a valid storms-off setting.
+        assert_eq!(
+            parse(&["--refocus-pct", "0"]).unwrap().refocus_pct,
+            Some(0.0)
+        );
+        assert!(parse(&["--refocus-pct", "101"]).is_err());
+        assert!(parse(&["--refocus-pct", "-1"]).is_err());
+        assert!(parse(&["--refocus-pct", "nan"]).is_err());
+        assert!(parse(&["--refocus-pct"]).is_err());
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod spike;
 pub mod sweep;
 pub mod table;
 pub mod tenancy;
+pub mod view_storm;
 
 pub use churn::{autoscale_policy_for, run_churn, ChurnOutcome, ChurnScenario};
 pub use cli::ScenarioArgs;
@@ -35,6 +36,7 @@ pub use table::{FigureData, Series};
 pub use tenancy::{
     run_tenant_mix, tenant_config, tenant_quota, zipf_split, TenantMixOutcome, TenantMixScenario,
 };
+pub use view_storm::{run_view_storm, ViewStormOutcome, ViewStormScenario};
 
 /// Prints a figure's table to stdout and writes `results/<id>.json`.
 ///

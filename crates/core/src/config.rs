@@ -121,6 +121,14 @@ pub struct SessionConfig {
     /// alone. Requires `autoscale`; `None` keeps the reactive
     /// utilisation-band controller.
     pub predictive: Option<PredictivePolicy>,
+    /// Per-view tree prune/merge: when a view group's registered
+    /// membership falls to this floor or below, the LSC folds the
+    /// group's CDN-rooted tree fragments under P2P parents (returning
+    /// the folded roots' CDN capacity to the pool) and retires the
+    /// group once it is fully drained. `None` (the default) disables
+    /// pruning — abandoned views keep their fragment forest, the
+    /// pre-existing behaviour.
+    pub prune_member_floor: Option<usize>,
     /// Scope of view groups.
     pub group_scope: GroupScope,
     /// Delay substrate (dense matrix vs O(n) coordinates).
@@ -150,6 +158,7 @@ impl Default for SessionConfig {
             monitor_period: None,
             autoscale: None,
             predictive: None,
+            prune_member_floor: None,
             group_scope: GroupScope::PerLsc,
             delay_model: DelayModelChoice::Auto,
             seed: 42,
@@ -241,6 +250,12 @@ impl SessionConfig {
     /// Convenience: make the autoscaler predictive (forecast-driven).
     pub fn with_predictive(mut self, predictive: PredictivePolicy) -> Self {
         self.predictive = Some(predictive);
+        self
+    }
+
+    /// Convenience: enable per-view tree prune/merge at `floor` members.
+    pub fn with_prune_floor(mut self, floor: usize) -> Self {
+        self.prune_member_floor = Some(floor);
         self
     }
 }

@@ -17,6 +17,26 @@ pub struct SessionMetrics {
     pub join_delays_ms: Histogram,
     /// View-change delay samples in milliseconds (Fig. 14(c)).
     pub view_change_delays_ms: Histogram,
+    /// Switch-latency samples in milliseconds: leave-old-tree →
+    /// first-frame-on-new-tree (the CDN fast path of §VI). Unlike
+    /// [`SessionMetrics::view_change_delays_ms`] this excludes the
+    /// request→teardown control-plane time.
+    pub switch_latency_ms: Histogram,
+    /// View changes whose CDN fast path granted no temporary lease —
+    /// the first frame of the new view waits for the background join.
+    pub switch_starved: Counter,
+    /// Wasted subtree bandwidth, in kbps·ms: old-view bandwidth still
+    /// flowing to a switching viewer between its view-change request
+    /// and the old tree's teardown (see
+    /// [`SessionMetrics::wasted_mbps_hours`]).
+    pub wasted_subtree_kbps_ms: Counter,
+    /// CDN-rooted tree fragments folded under P2P parents by the prune
+    /// pass (each fold returns one CDN serve to the pool).
+    pub fragments_merged: Counter,
+    /// Drained view groups retired by the prune pass.
+    pub groups_retired: Counter,
+    /// CDN capacity returned to the pool by prune merges, in kbps.
+    pub prune_reclaimed_kbps: Counter,
     /// Subscription-protocol messages sent (overhead).
     pub subscription_messages: Counter,
     /// Push-down displacements performed by Algorithm 1.
@@ -97,6 +117,12 @@ impl SessionMetrics {
             rejected_viewers: Counter::new("rejected_viewers"),
             join_delays_ms: Histogram::new(),
             view_change_delays_ms: Histogram::new(),
+            switch_latency_ms: Histogram::new(),
+            switch_starved: Counter::new("switch_starved"),
+            wasted_subtree_kbps_ms: Counter::new("wasted_subtree_kbps_ms"),
+            fragments_merged: Counter::new("fragments_merged"),
+            groups_retired: Counter::new("groups_retired"),
+            prune_reclaimed_kbps: Counter::new("prune_reclaimed_kbps"),
             subscription_messages: Counter::new("subscription_messages"),
             displacements: Counter::new("displacements"),
             layer_drops: Counter::new("layer_drops"),
@@ -223,6 +249,18 @@ impl SessionMetrics {
     pub fn view_change_delay_cdf(&self) -> Cdf {
         self.view_change_delays_ms.cdf()
     }
+
+    /// CDF of switch latencies (milliseconds).
+    pub fn switch_latency_cdf(&self) -> Cdf {
+        self.switch_latency_ms.cdf()
+    }
+
+    /// Wasted subtree bandwidth in Mbps·hours — the figure-friendly
+    /// unit of [`SessionMetrics::wasted_subtree_kbps_ms`]
+    /// (1 Mbps·hour = 1000 kbps × 3 600 000 ms).
+    pub fn wasted_mbps_hours(&self) -> f64 {
+        self.wasted_subtree_kbps_ms.value() as f64 / 3.6e9
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +283,14 @@ mod tests {
         m.sample_cdn_usage(SimTime::from_secs(2), 450.0);
         m.sample_cdn_usage(SimTime::from_secs(3), 20.0);
         assert_eq!(m.peak_cdn_mbps(), 450.0);
+    }
+
+    #[test]
+    fn wasted_bandwidth_unit_conversion() {
+        let mut m = SessionMetrics::new();
+        // 2000 kbps wasted for 1.8e6 ms = 2 Mbps for half an hour.
+        m.wasted_subtree_kbps_ms.add(2_000 * 1_800_000);
+        assert!((m.wasted_mbps_hours() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1330,6 +1330,32 @@ impl TelecastSession {
             .collect()
     }
 
+    /// Registered membership of `view`'s group summed over every scope,
+    /// or `None` once no scope holds a group for the view any more (the
+    /// prune pass retired them all). Random placement keeps no groups,
+    /// so this is always `None` there.
+    pub fn view_group_population(&self, view: ViewId) -> Option<usize> {
+        let mut any = false;
+        let mut total = 0usize;
+        for scope in &self.scopes {
+            if let Some(group) = scope.group(view) {
+                any = true;
+                total += group.member_count();
+            }
+        }
+        any.then_some(total)
+    }
+
+    /// Occupied tree slots of `view`'s group summed over every scope
+    /// (zero once the view's groups are drained or retired).
+    pub fn view_tree_population(&self, view: ViewId) -> usize {
+        self.scopes
+            .iter()
+            .filter_map(|scope| scope.group(view))
+            .map(|group| group.tree_population())
+            .sum()
+    }
+
     /// Mean tree depth across all active stream trees (ablation metric).
     pub fn mean_tree_depth(&self) -> f64 {
         let mut total = 0.0;
@@ -1740,6 +1766,12 @@ impl TelecastSession {
                 v.subs.insert(sid, sub);
             }
         }
+        // Register group membership (the group exists: created above for
+        // every non-Random placement). The prune pass reads this to spot
+        // abandoned views.
+        if !matches!(self.config.placement, PlacementStrategy::Random { .. }) {
+            self.scopes[scope].join(viewer, view);
+        }
         // Fill in Eq. 2 subscription points and update parent routing
         // tables (Fig. 6 protocol).
         for (p, sid, point) in parent_updates {
@@ -2095,6 +2127,7 @@ impl TelecastSession {
             .iter()
             .map(|s| (s.stream, Bandwidth::from_kbps(s.bitrate_kbps)))
             .collect();
+        let mut temp_granted = 0usize;
         for (sid, bw) in &new_streams {
             if let Ok(lease) = self.cdn.serve(*sid, *bw, region) {
                 self.viewers
@@ -2102,8 +2135,21 @@ impl TelecastSession {
                     .expect("viewer exists")
                     .temp_leases
                     .insert(*sid, lease);
+                temp_granted += 1;
             }
         }
+
+        // The old view's subtree bandwidth kept flowing between the
+        // switch request and this teardown — account it as waste.
+        let old_kbps: u64 = self.viewers[&viewer]
+            .subs
+            .values()
+            .map(|s| s.bitrate_kbps)
+            .sum();
+        let waste_window_ms = (self.engine.now() - requested_at).as_micros() / 1_000;
+        self.metrics
+            .wasted_subtree_kbps_ms
+            .add(old_kbps * waste_window_ms);
 
         // Leave the old view's trees (creating victims), release old
         // resources.
@@ -2122,6 +2168,17 @@ impl TelecastSession {
         self.metrics
             .view_change_delays_ms
             .record(delay.as_micros() as f64 / 1_000.0);
+        // Switch latency proper: old tree left now, first frame of the
+        // new view lands `serve_legs` later — provided the CDN fast
+        // path granted at least one temporary serve. A starved switch
+        // waits for the background join instead.
+        if temp_granted > 0 {
+            self.metrics
+                .switch_latency_ms
+                .record(serve_legs.as_micros() as f64 / 1_000.0);
+        } else {
+            self.metrics.switch_starved.incr();
+        }
 
         // Background: the normal join into the new group.
         let backoff = self.config.lsc_processing + self.leg(lsc, viewer);
@@ -2236,11 +2293,109 @@ impl TelecastSession {
         }
         if let Some(v) = view {
             if !is_random {
-                if let Some(group) = self.scopes[scope].group_mut(v) {
-                    group.remove_member(viewer);
-                }
+                self.scopes[scope].leave(viewer);
+                self.prune_view(v, scope);
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-view tree prune/merge
+    // ------------------------------------------------------------------
+
+    /// Shrinks an abandoned view's overlay after a member left it. Only
+    /// active when [`SessionConfig::prune_member_floor`] is set and the
+    /// group's registered membership is at or below the floor: folds
+    /// CDN-rooted tree fragments under P2P parents (weakest root first,
+    /// releasing the folded roots' CDN serves back to the pool) and
+    /// retires the group once membership and trees have fully drained.
+    /// Consumes no RNG draws, so runs are byte-identical whether the
+    /// knob is merely unset or the floor is never reached.
+    fn prune_view(&mut self, view: ViewId, scope: usize) {
+        let Some(floor) = self.config.prune_member_floor else {
+            return;
+        };
+        let Some(group) = self.scopes[scope].group(view) else {
+            return;
+        };
+        if group.member_count() > floor {
+            return;
+        }
+        let mut streams: Vec<StreamId> = group.streams().collect();
+        streams.sort_unstable();
+        for sid in streams {
+            // One bounded sweep: snapshot the current roots and attempt
+            // each at most once, weakest first. A fold the layering
+            // machinery undoes (the §VI resync reroutes a too-deep
+            // chain back to the CDN) is NOT retried within this call —
+            // the root simply remains for a later pass. Re-attempting
+            // it here would ping-pong fold/reroute forever.
+            let roots = self.scopes[scope]
+                .group(view)
+                .and_then(|g| g.tree(sid))
+                .map(|t| t.cdn_fragment_roots())
+                .unwrap_or_default();
+            if roots.len() <= 1 {
+                continue;
+            }
+            for root in roots {
+                self.merge_fragment_root(root, sid, view, scope);
+            }
+        }
+        if self.scopes[scope].retire_if_drained(view) {
+            self.metrics.groups_retired.incr();
+        }
+    }
+
+    /// Tries to fold one CDN-rooted fragment root under a P2P parent
+    /// (the prune-pass analogue of [`TelecastSession::reposition_victim`],
+    /// without the background scheduling). Returns whether the root
+    /// moved. Either way the fold releases one CDN serve: ours when the
+    /// new parent is a viewer, the displaced child's spare when we took
+    /// over its root slot.
+    fn merge_fragment_root(
+        &mut self,
+        root: NodeId,
+        stream: StreamId,
+        view: ViewId,
+        scope: usize,
+    ) -> bool {
+        let still_cdn = self
+            .viewers
+            .get(&root)
+            .and_then(|v| v.subs.get(&stream))
+            .map(|s| s.parent == TreeParent::Cdn)
+            .unwrap_or(false);
+        if !still_cdn {
+            return false;
+        }
+        let repositioned = self.scopes[scope]
+            .group_mut(view)
+            .and_then(|g| g.tree_mut(stream))
+            .filter(|t| t.parent_of(root) == Some(TreeParent::Cdn))
+            .map(|t| t.reposition_from_cdn(root))
+            .unwrap_or(None);
+        let Some(parent) = repositioned else {
+            return false;
+        };
+        if let TreeParent::Viewer(_) = parent {
+            if let Some(lease) = self
+                .viewers
+                .get_mut(&root)
+                .expect("root exists")
+                .subs
+                .get_mut(&stream)
+                .and_then(|s| s.lease.take())
+            {
+                self.cdn.release(lease);
+            }
+        }
+        self.metrics.fragments_merged.incr();
+        self.metrics
+            .prune_reclaimed_kbps
+            .add(self.stream_bw[&stream].as_kbps());
+        self.after_reposition(root, stream, view, scope, parent);
+        true
     }
 
     // ------------------------------------------------------------------

@@ -9,6 +9,33 @@
 //! view-change model, plus the synthetic TEEVE frame traces and viewer
 //! workload generators the evaluation replays.
 //!
+//! # Workload event vocabulary
+//!
+//! Everything a simulated audience does reduces to three scripted
+//! [`WorkloadEvent`]s — `Join { viewer, view }`, `ViewChange { viewer,
+//! view }` and `Depart { viewer }` — in one time-ordered
+//! [`ViewerWorkload`]. Two generators speak that vocabulary:
+//!
+//! * [`ViewerWorkload::builder`] — one-shot audiences: an
+//!   [`ArrivalModel`] (flash / staggered / Poisson), a [`ViewChoice`]
+//!   (single / uniform / Zipf), per-viewer Poisson view changes and a
+//!   departing fraction. [`ViewPopularity`] lifts the choice model to
+//!   the audience level by adding correlated [`RefocusEvent`]s — a
+//!   fraction of *everyone* hops to one target view inside a short
+//!   window (the view-switching storm).
+//! * [`ChurnSpec`] — sustained membership: Poisson arrivals under a
+//!   [`RateProfile`] (constant / diurnal / spikes), lognormal dwells, a
+//!   failing fraction, and optionally
+//!   [`ChurnSpec::view_switches_per_dwell`] mid-dwell switches.
+//!   [`ChurnSpec::to_workload`] scripts the spec into a finite
+//!   `ViewerWorkload`; `telecast::TelecastSession::start_churn` replays
+//!   the same spec live (without scripted switches).
+//!
+//! Both generators draw every stochastic input from the caller's
+//! [`telecast_sim::SimRng`], and every off-by-default knob consumes zero
+//! RNG draws when unused — so a pre-existing seed replays its event
+//! script byte-identically after the vocabulary grows.
+//!
 //! # Example
 //!
 //! ```
@@ -24,6 +51,7 @@
 
 mod bundle;
 mod frame;
+mod popularity;
 mod producer;
 mod rate;
 mod stream;
@@ -33,6 +61,7 @@ mod workload;
 
 pub use bundle::{inter_bundle_skew, Bundle};
 pub use frame::{Frame, FrameNumber};
+pub use popularity::{RefocusEvent, ViewPopularity};
 pub use producer::ProducerSite;
 pub use rate::{RateProfile, SpikeWindow, MAX_SPIKE_WINDOWS};
 pub use stream::{Orientation, SiteId, StreamId, StreamInfo};

@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 use telecast_sim::{SimDuration, SimRng, SimTime};
 
+use crate::popularity::{RefocusEvent, ViewPopularity};
 use crate::view::ViewId;
 
 /// How viewers arrive over virtual time.
@@ -155,6 +156,7 @@ impl ViewerWorkload {
             view_change_window: SimDuration::from_secs(60),
             departure_fraction: 0.0,
             departure_window: SimDuration::from_secs(60),
+            refocus: Vec::new(),
         }
     }
 
@@ -181,6 +183,7 @@ pub struct ViewerWorkloadBuilder {
     view_change_window: SimDuration,
     departure_fraction: f64,
     departure_window: SimDuration,
+    refocus: Vec<RefocusEvent>,
 }
 
 impl ViewerWorkloadBuilder {
@@ -222,33 +225,96 @@ impl ViewerWorkloadBuilder {
         self
     }
 
-    /// Generates the scripted workload.
+    /// Installs an audience-level [`ViewPopularity`]: the Zipf exponent
+    /// replaces the view-choice model and the re-focus schedule is
+    /// adopted wholesale (see [`ViewerWorkloadBuilder::refocus`]).
     ///
     /// # Panics
     ///
-    /// Panics if the departure fraction is outside `[0, 1]` or the catalog
-    /// is empty while viewers exist.
+    /// `build` panics if any re-focus target lies outside the catalog.
+    pub fn popularity(mut self, popularity: &ViewPopularity) -> Self {
+        self.view_choice = popularity.choice();
+        self.refocus = popularity.refocus_events().to_vec();
+        self
+    }
+
+    /// Appends one correlated re-focus event: `event.fraction` of the
+    /// audience hops to `event.target`, each participating viewer at an
+    /// independent uniform instant inside `event.window` after
+    /// `event.at`. Hops scheduled before a viewer's arrival are dropped;
+    /// a viewer already watching the target stays put (no event). An
+    /// empty schedule consumes **zero** extra RNG draws, so pre-existing
+    /// workload seeds replay byte-identically.
+    pub fn refocus(mut self, event: RefocusEvent) -> Self {
+        self.refocus.push(event);
+        self
+    }
+
+    /// Generates the scripted workload.
+    ///
+    /// Each viewer's individual Zipf re-picks and the correlated re-focus
+    /// hops merge into one time-ordered chain per viewer, so a Zipf
+    /// change after a re-focus hops away *from the re-focus target* — the
+    /// drift that empties the storm view again and makes its tree worth
+    /// pruning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the departure fraction is outside `[0, 1]`, the catalog
+    /// is empty while viewers exist, or a re-focus event is invalid or
+    /// targets a view outside the catalog.
     pub fn build(self, rng: &mut SimRng) -> ViewerWorkload {
         assert!(
             (0.0..=1.0).contains(&self.departure_fraction),
             "departure fraction out of range"
         );
+        for event in &self.refocus {
+            if let Err(err) = event.validate() {
+                panic!("invalid refocus event: {err}");
+            }
+            assert!(
+                event.target.index() < self.catalog_len,
+                "refocus target {} outside catalog of {} views",
+                event.target,
+                self.catalog_len
+            );
+        }
         let mut events: Vec<(SimTime, WorkloadEvent)> = Vec::new();
         let arrivals = self.arrivals.arrivals(self.viewers, self.start, rng);
         for (viewer, &at) in arrivals.iter().enumerate() {
             let view = self.view_choice.sample(self.catalog_len, rng);
             events.push((at, WorkloadEvent::Join { viewer, view }));
 
-            let mut current = view;
             let changes = poisson_count(self.view_changes_per_viewer, rng);
-            let mut change_times: Vec<SimTime> = (0..changes)
-                .map(|_| at + jitter(self.view_change_window, rng))
+            // `None` marks an individual Zipf re-pick (target drawn at
+            // emission so it chains off the then-current view); `Some` a
+            // correlated re-focus hop with its target fixed up front.
+            let mut hops: Vec<(SimTime, Option<ViewId>)> = (0..changes)
+                .map(|_| (at + jitter(self.view_change_window, rng), None))
                 .collect();
-            change_times.sort_unstable();
-            for t in change_times {
-                current = self
-                    .view_choice
-                    .sample_change(self.catalog_len, current, rng);
+            for event in &self.refocus {
+                if rng.chance(event.fraction) {
+                    let t = event.at + jitter(event.window, rng);
+                    // Hops scheduled before this viewer arrives are lost.
+                    if t >= at {
+                        hops.push((t, Some(event.target)));
+                    }
+                }
+            }
+            hops.sort_unstable_by_key(|&(t, target)| (t, target.is_some(), target));
+            let mut current = view;
+            for (t, target) in hops {
+                let next = match target {
+                    Some(target) => target,
+                    None => self
+                        .view_choice
+                        .sample_change(self.catalog_len, current, rng),
+                };
+                if next == current {
+                    // Already watching the re-focus target: no event.
+                    continue;
+                }
+                current = next;
                 events.push((
                     t,
                     WorkloadEvent::ViewChange {
@@ -301,6 +367,14 @@ pub struct ChurnSpec {
     /// seeds), a sinusoidal diurnal wave, or piecewise flash spikes —
     /// sampled by thinning (see [`crate::RateProfile`]).
     pub rate_profile: crate::RateProfile,
+    /// Mean number of mid-dwell view switches per connected viewer,
+    /// scripted by [`ChurnSpec::to_workload`] as `ViewChange` events
+    /// spread uniformly over the viewer's dwell. The default `0.0`
+    /// consumes no RNG draws, so pre-switch seeds replay
+    /// byte-identically. The live runtime
+    /// (`telecast::TelecastSession::start_churn`) does not replay
+    /// switches — drive switching storms through the scripted path.
+    pub view_switches_per_dwell: f64,
 }
 
 impl ChurnSpec {
@@ -329,6 +403,7 @@ impl ChurnSpec {
             fail_fraction: 0.1,
             view_choice: ViewChoice::Zipf { s: 0.8 },
             rate_profile: crate::RateProfile::Constant,
+            view_switches_per_dwell: 0.0,
         }
     }
 
@@ -347,6 +422,13 @@ impl ChurnSpec {
     /// Sets the time-varying arrival-rate profile.
     pub fn with_rate_profile(mut self, profile: crate::RateProfile) -> Self {
         self.rate_profile = profile;
+        self
+    }
+
+    /// Sets the mean number of mid-dwell view switches per viewer
+    /// (scripted-path only; see [`ChurnSpec::view_switches_per_dwell`]).
+    pub fn with_view_switches(mut self, per_dwell: f64) -> Self {
+        self.view_switches_per_dwell = per_dwell;
         self
     }
 
@@ -369,6 +451,12 @@ impl ChurnSpec {
             return Err(format!(
                 "fail_fraction out of [0, 1]: {}",
                 self.fail_fraction
+            ));
+        }
+        if !self.view_switches_per_dwell.is_finite() || self.view_switches_per_dwell < 0.0 {
+            return Err(format!(
+                "view_switches_per_dwell invalid: {}",
+                self.view_switches_per_dwell
             ));
         }
         self.rate_profile.validate()?;
@@ -417,7 +505,11 @@ impl ChurnSpec {
     /// each departing after its sampled dwell (failures cannot be
     /// scripted — [`WorkloadEvent`] has no failure variant — so every
     /// leave becomes a graceful departure). Arrivals beyond the pool
-    /// size reuse the earliest-departed viewer index.
+    /// size reuse the earliest-departed viewer index. When
+    /// [`ChurnSpec::view_switches_per_dwell`] is positive, each connected
+    /// viewer additionally scripts a Poisson number of `ViewChange`
+    /// events at uniform instants inside its dwell, chained so every
+    /// switch targets a view different from the one being watched.
     ///
     /// # Panics
     ///
@@ -450,7 +542,31 @@ impl ChurnSpec {
             free.pop();
             let view = self.view_choice.sample(catalog_len, rng);
             events.push((t, WorkloadEvent::Join { viewer, view }));
-            let leave = t + self.sample_dwell(rng);
+            let dwell = self.sample_dwell(rng);
+            let leave = t + dwell;
+            // Guarded so the default spec consumes zero extra draws and
+            // pre-switch seeds replay byte-identically.
+            if self.view_switches_per_dwell > 0.0 {
+                let switches = poisson_count(self.view_switches_per_dwell, rng);
+                let mut switch_times: Vec<SimTime> =
+                    (0..switches).map(|_| t + jitter(dwell, rng)).collect();
+                switch_times.sort_unstable();
+                let mut current = view;
+                for at in switch_times {
+                    let next = self.view_choice.sample_change(catalog_len, current, rng);
+                    if next == current {
+                        continue; // single-view catalog: nowhere to switch
+                    }
+                    current = next;
+                    events.push((
+                        at,
+                        WorkloadEvent::ViewChange {
+                            viewer,
+                            view: current,
+                        },
+                    ));
+                }
+            }
             events.push((leave, WorkloadEvent::Depart { viewer }));
             free.push(std::cmp::Reverse((leave, viewer)));
         }
@@ -686,9 +802,111 @@ mod tests {
                 WorkloadEvent::Depart { viewer } => {
                     assert!(connected.remove(&viewer), "departure without join");
                 }
-                WorkloadEvent::ViewChange { .. } => {}
+                WorkloadEvent::ViewChange { .. } => {
+                    panic!("default spec (0 switches/dwell) scripted a view change")
+                }
             }
         }
+    }
+
+    #[test]
+    fn churn_bridge_scripts_view_switches_while_connected() {
+        let spec = ChurnSpec::steady_state(50, 0.2).with_view_switches(1.5);
+        assert!(spec.validate().is_ok());
+        let mut rng = SimRng::seed_from_u64(3);
+        let wl = spec.to_workload(50, 8, SimTime::from_secs(600), &mut rng);
+        // Every switch happens while its viewer is connected and targets
+        // a view different from the one being watched.
+        let mut watching: std::collections::HashMap<usize, ViewId> = Default::default();
+        let mut switches = 0usize;
+        for (_, ev) in wl.events() {
+            match *ev {
+                WorkloadEvent::Join { viewer, view } => {
+                    assert!(watching.insert(viewer, view).is_none());
+                }
+                WorkloadEvent::ViewChange { viewer, view } => {
+                    let current = watching
+                        .insert(viewer, view)
+                        .expect("switch while disconnected");
+                    assert_ne!(current, view, "switch to the watched view");
+                    switches += 1;
+                }
+                WorkloadEvent::Depart { viewer } => {
+                    assert!(watching.remove(&viewer).is_some());
+                }
+            }
+        }
+        assert!(switches > 0, "switch-enabled spec scripted no switches");
+        // Switches are off by default, preserving pre-switch byte streams.
+        assert_eq!(
+            ChurnSpec::steady_state(50, 0.2).view_switches_per_dwell,
+            0.0
+        );
+        assert!(spec.with_view_switches(-1.0).validate().is_err());
+    }
+
+    #[test]
+    fn refocus_events_are_correlated_and_skip_target_watchers() {
+        let storm = RefocusEvent {
+            at: SimTime::from_secs(30),
+            window: SimDuration::from_secs(4),
+            target: ViewId::new(7),
+            fraction: 1.0,
+        };
+        let mut rng = SimRng::seed_from_u64(11);
+        let wl = ViewerWorkload::builder(300, 8)
+            .view_choice(ViewChoice::Zipf { s: 1.1 })
+            .refocus(storm)
+            .build(&mut rng);
+        // With fraction 1.0 every viewer not already on the target hops
+        // inside the window.
+        let hops: Vec<_> = wl
+            .events()
+            .iter()
+            .filter(|(t, e)| {
+                matches!(e, WorkloadEvent::ViewChange { view, .. } if *view == ViewId::new(7))
+                    && *t >= SimTime::from_secs(30)
+                    && *t <= SimTime::from_secs(34)
+            })
+            .collect();
+        let on_target_at_join = wl
+            .events()
+            .iter()
+            .filter(
+                |(_, e)| matches!(e, WorkloadEvent::Join { view, .. } if *view == ViewId::new(7)),
+            )
+            .count();
+        assert_eq!(hops.len() + on_target_at_join, 300);
+
+        // An empty schedule consumes zero extra draws: byte-identical to
+        // the pre-refocus builder on the same seed.
+        let mut a = SimRng::seed_from_u64(12);
+        let mut b = SimRng::seed_from_u64(12);
+        let plain = ViewerWorkload::builder(100, 8)
+            .view_changes(1.0, SimDuration::from_secs(20))
+            .departures(0.3, SimDuration::from_secs(40))
+            .build(&mut a);
+        let with_empty = ViewerWorkload::builder(100, 8)
+            .view_changes(1.0, SimDuration::from_secs(20))
+            .departures(0.3, SimDuration::from_secs(40))
+            .popularity(&ViewPopularity::zipf(0.0))
+            .view_choice(ViewChoice::Uniform)
+            .build(&mut b);
+        assert_eq!(plain, with_empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside catalog")]
+    fn refocus_target_outside_catalog_panics() {
+        let mut rng = SimRng::seed_from_u64(1);
+        ViewerWorkload::builder(10, 4)
+            .refocus(RefocusEvent {
+                at: SimTime::ZERO,
+                window: SimDuration::ZERO,
+                target: ViewId::new(4),
+                fraction: 0.5,
+            })
+            .build(&mut rng);
     }
 
     #[test]

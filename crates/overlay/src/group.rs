@@ -88,6 +88,38 @@ impl ViewGroup {
     pub fn streams(&self) -> impl Iterator<Item = StreamId> + '_ {
         self.trees.keys().copied()
     }
+
+    /// Total tree members across all streams. An abandoned view's trees
+    /// can outlive its registered membership (victims parked at the CDN
+    /// mid-recovery), so the prune pass checks both.
+    pub fn tree_population(&self) -> usize {
+        self.trees.values().map(|t| t.len()).sum()
+    }
+
+    /// Whether nothing is left to serve: no registered members and every
+    /// stream tree empty. A drained group is eligible for retirement
+    /// (see [`GroupTable::retire_if_drained`]).
+    pub fn is_drained(&self) -> bool {
+        self.members.is_empty() && self.trees.values().all(|t| t.is_empty())
+    }
+
+    /// Runs [`StreamTree::merge_cdn_fragments`] over every stream tree,
+    /// in ascending stream order for determinism. Returns the total
+    /// number of fragments folded under P2P parents.
+    pub fn merge_fragments(&mut self) -> usize {
+        let mut streams: Vec<StreamId> = self.trees.keys().copied().collect();
+        streams.sort_unstable();
+        let mut merged = 0;
+        for stream in streams {
+            let tree = self.trees.get_mut(&stream).expect("stream is covered");
+            merged += tree
+                .merge_cdn_fragments()
+                .iter()
+                .filter(|(_, parent)| matches!(parent, crate::tree::TreeParent::Viewer(_)))
+                .count();
+        }
+        merged
+    }
 }
 
 /// The LSC's table of view groups.
@@ -151,6 +183,37 @@ impl GroupTable {
     /// The view `viewer` currently belongs to.
     pub fn view_of(&self, viewer: NodeId) -> Option<ViewId> {
         self.membership.get(&viewer).copied()
+    }
+
+    /// Retires `view`'s group if it is fully drained (no members, every
+    /// tree empty), freeing its per-stream tree state; returns whether
+    /// it was removed. A later request for the view recreates the group
+    /// lazily through [`GroupTable::group_for`].
+    pub fn retire_if_drained(&mut self, view: ViewId) -> bool {
+        match self.groups.get(&view) {
+            Some(group) if group.is_drained() => {
+                self.groups.remove(&view);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Retires every drained group, returning the retired views in
+    /// ascending id order (the backing map iterates in hash order, so
+    /// the sweep sorts before removing to stay deterministic).
+    pub fn retire_drained(&mut self) -> Vec<ViewId> {
+        let mut drained: Vec<ViewId> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| g.is_drained())
+            .map(|(&v, _)| v)
+            .collect();
+        drained.sort_unstable();
+        for view in &drained {
+            self.groups.remove(view);
+        }
+        drained
     }
 
     /// Iterates over all groups.
@@ -233,6 +296,62 @@ mod tests {
         let v = viewer(&mut reg);
         let mut table = GroupTable::new();
         table.join(v, ViewId::new(9));
+    }
+
+    #[test]
+    fn drained_groups_retire_and_recreate_lazily() {
+        let mut reg = NodeRegistry::new();
+        let a = viewer(&mut reg);
+        let mut table = GroupTable::new();
+        table.group_for(ViewId::new(0), streams(2));
+        table.group_for(ViewId::new(1), streams(2));
+        table.join(a, ViewId::new(0));
+        // A group with a registered member is not drained.
+        assert!(!table.retire_if_drained(ViewId::new(0)));
+        // A group with a tree member but no registered member is not
+        // drained either (a victim parked mid-recovery still receives).
+        let tree = table
+            .group_mut(ViewId::new(1))
+            .unwrap()
+            .tree_mut(StreamId::new(SiteId::new(0), 0))
+            .unwrap();
+        tree.attach_to_cdn(a, 2, telecast_net::Bandwidth::from_mbps(4));
+        assert!(!table.retire_if_drained(ViewId::new(1)));
+        // Draining both sides retires the group; a sweep reports the
+        // retired views in ascending order.
+        table
+            .group_mut(ViewId::new(1))
+            .unwrap()
+            .tree_mut(StreamId::new(SiteId::new(0), 0))
+            .unwrap()
+            .remove(a);
+        table.leave(a);
+        assert_eq!(table.retire_drained(), vec![ViewId::new(0), ViewId::new(1)]);
+        assert!(table.is_empty());
+        // The next request recreates the group lazily.
+        table.group_for(ViewId::new(0), streams(3));
+        assert_eq!(table.group(ViewId::new(0)).unwrap().streams().count(), 3);
+    }
+
+    #[test]
+    fn merge_fragments_counts_p2p_folds() {
+        let mut reg = NodeRegistry::new();
+        let strong = viewer(&mut reg);
+        let weak = viewer(&mut reg);
+        let mut group = ViewGroup::new(ViewId::new(0), streams(1));
+        let sid = StreamId::new(SiteId::new(0), 0);
+        let tree = group.tree_mut(sid).unwrap();
+        // Two CDN-rooted fragments: the weak one folds under the strong.
+        tree.attach_to_cdn(strong, 4, telecast_net::Bandwidth::from_mbps(8));
+        tree.attach_to_cdn(weak, 0, telecast_net::Bandwidth::ZERO);
+        assert_eq!(group.tree_population(), 2);
+        assert_eq!(group.merge_fragments(), 1);
+        let tree = group.tree(sid).unwrap();
+        assert_eq!(tree.cdn_children().count(), 1);
+        assert_eq!(
+            tree.parent_of(weak),
+            Some(crate::tree::TreeParent::Viewer(strong))
+        );
     }
 
     #[test]

@@ -17,6 +17,31 @@
 //!   field (parent, stream) → forwarding addresses, actions, and
 //!   subscription points.
 //!
+//! # The per-view tree model and prune/merge
+//!
+//! Each view group owns one [`StreamTree`] per accepted stream: a forest
+//! rooted at the CDN whose depth-0 members ("fragments") each hold a CDN
+//! serve, with P2P children below them. Churn and view switching
+//! fragment that forest — `remove` re-roots every orphaned child at
+//! depth 0 pending recovery, and a view-switching storm can drain a
+//! group's audience entirely while the stragglers' fragments keep their
+//! CDN slots. Two operations shrink an abandoned view's overlay again:
+//!
+//! * **merge** — [`StreamTree::merge_cdn_fragments`] folds CDN-rooted
+//!   fragments back under P2P parents, weakest root first (the same
+//!   `(out_degree, C_obw, id)` order the attach planner probes), so the
+//!   caller can release the folded roots' CDN capacity back to the
+//!   pool; at least one CDN root always remains in a non-empty tree;
+//! * **retire** — [`GroupTable::retire_if_drained`] removes a group
+//!   whose membership and trees have fully drained; the next request
+//!   for the view recreates it lazily through [`GroupTable::group_for`].
+//!
+//! Both are deterministic (weakest-first merge order, ascending-id
+//! retirement sweeps) and preserve every maintained index invariant —
+//! `check_invariants` verifies symmetry, degree bounds, acyclicity and
+//! reachability after each pass, and a property test asserts no
+//! connected viewer is ever stranded.
+//!
 //! # Example
 //!
 //! ```

@@ -255,6 +255,66 @@ proptest! {
         }
     }
 
+    /// The prune/merge pass preserves every structural invariant and
+    /// never strands a connected viewer: after arbitrary churn leaves a
+    /// forest of CDN-rooted fragments, repeated `merge_cdn_fragments`
+    /// passes keep the member set identical (check_invariants
+    /// re-verifies reachability from the roots, so identical membership
+    /// means nobody is cut off), keep at least one CDN root in a
+    /// non-empty tree, and converge — every pass that reports a change
+    /// folded at least one root away, so the pass count is bounded by
+    /// the initial root count.
+    #[test]
+    fn prune_merge_preserves_invariants_and_strands_nobody(
+        ops in proptest::collection::vec((0u8..4, 0u32..6, 0u32..8), 1..120),
+    ) {
+        let viewers = ids(ops.len());
+        let mut tree = StreamTree::new(stream());
+        let mut present: Vec<NodeId> = Vec::new();
+        for (i, &(op, deg, cap_mbps)) in ops.iter().enumerate() {
+            let cap = Bandwidth::from_mbps(cap_mbps as u64);
+            if op != 3 || present.is_empty() {
+                let v = viewers[i];
+                if tree.insert(v, deg, cap).is_none() {
+                    tree.attach_to_cdn(v, deg, cap);
+                }
+                present.push(v);
+            } else {
+                let idx = (i * 7919) % present.len();
+                let v = present.swap_remove(idx);
+                tree.remove(v);
+            }
+        }
+        let before: std::collections::BTreeSet<NodeId> = tree.members().collect();
+        let mut passes = 0usize;
+        loop {
+            let root_count = tree.cdn_children().count();
+            let merged = tree.merge_cdn_fragments();
+            prop_assert!(tree.check_invariants().is_ok(),
+                "{:?}", tree.check_invariants());
+            let after: std::collections::BTreeSet<NodeId> = tree.members().collect();
+            prop_assert_eq!(&before, &after, "merge changed the member set");
+            if !tree.is_empty() {
+                prop_assert!(tree.cdn_children().count() >= 1,
+                    "merge lost the last CDN root");
+            }
+            for &(root, parent) in &merged {
+                prop_assert_eq!(tree.parent_of(root), Some(parent),
+                    "reported merge target is not the root's parent");
+            }
+            if merged.is_empty() {
+                break;
+            }
+            // Both merge outcomes — a root folded under a P2P parent, or
+            // a root displacing a weaker root off its CDN slot — shrink
+            // the forest, so convergence is bounded by the root count.
+            prop_assert!(tree.cdn_children().count() < root_count,
+                "a reported merge pass did not shrink the CDN forest");
+            passes += 1;
+            prop_assert!(passes <= ops.len(), "merge failed to converge");
+        }
+    }
+
     /// Depth never exceeds member count, and with all-equal degrees ≥ 1
     /// the tree accepts everyone P2P after the first CDN seed.
     #[test]
